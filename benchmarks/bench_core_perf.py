@@ -1,0 +1,74 @@
+"""Micro-benchmarks for the core components.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the substrate pieces every experiment leans on: query synthesis, reference
+execution, pattern matching, and parsing.
+"""
+
+import random
+
+import pytest
+
+from repro.core import QuerySynthesizer
+from repro.cypher.parser import parse_query
+from repro.cypher.printer import print_query
+from repro.engine import Executor
+from repro.graph import GraphGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    schema, graph = GraphGenerator(seed=0).generate_with_schema()
+    synthesizer = QuerySynthesizer(graph, rng=random.Random(0))
+    results = [synthesizer.synthesize() for _ in range(10)]
+    return graph, results
+
+
+def test_synthesis_throughput(benchmark):
+    schema, graph = GraphGenerator(seed=1).generate_with_schema()
+    rng = random.Random(1)
+    synthesizer = QuerySynthesizer(graph, rng=rng)
+    benchmark(synthesizer.synthesize)
+
+
+def test_execution_throughput(benchmark, workload):
+    graph, results = workload
+    executor = Executor(graph.copy())
+    queries = [result.query for result in results]
+
+    def run_all():
+        for query in queries:
+            executor.execute(query)
+
+    benchmark(run_all)
+
+
+def test_parse_throughput(benchmark, workload):
+    _graph, results = workload
+    texts = [print_query(result.query) for result in results]
+
+    def parse_all():
+        for text in texts:
+            parse_query(text)
+
+    benchmark(parse_all)
+
+
+def test_print_throughput(benchmark, workload):
+    _graph, results = workload
+    queries = [result.query for result in results]
+
+    def print_all():
+        for query in queries:
+            print_query(query)
+
+    benchmark(print_all)
+
+
+def test_graph_generation_throughput(benchmark):
+    counter = iter(range(10**9))
+
+    def generate():
+        GraphGenerator(seed=next(counter)).generate()
+
+    benchmark(generate)

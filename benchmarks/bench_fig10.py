@@ -1,0 +1,44 @@
+"""Figure 10: bug distribution by synthesis steps, plus throughput.
+
+Shape targets (paper §5.3): ~80% of the bugs are triggered by queries with
+at least three synthesis steps; throughput falls with step count (9-step
+queries ~6.6x slower than 3-step; Memgraph ~6 q/s and Neo4j ~3 q/s at nine
+steps).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import (
+    collect_trigger_records,
+    figure10,
+    figure10_throughput,
+    render_histogram,
+    render_kv,
+)
+
+
+def test_figure10_distribution(benchmark, full_campaigns):
+    records = run_once(benchmark, collect_trigger_records, full_campaigns)
+    series = figure10(records)
+    print()
+    for engine, counts in series.items():
+        compact = {k: v for k, v in counts.items() if v}
+        print(render_kv(compact, f"Figure 10 — {engine} bugs by synthesis steps"))
+
+    total = len(records)
+    at_least_three = sum(1 for r in records if r["n_steps"] >= 3)
+    assert total >= 25
+    # Paper: 80% of bugs need >= 3 steps.
+    assert at_least_three / total >= 0.7
+
+
+def test_figure10_throughput(benchmark):
+    throughput = run_once(benchmark, figure10_throughput)
+    print()
+    for engine, series in throughput.items():
+        print(render_kv(series, f"Figure 10 — {engine} queries/second by steps"))
+    assert throughput["Memgraph"][9] == pytest.approx(6.0, abs=0.1)
+    assert throughput["Neo4j"][9] == pytest.approx(3.0, abs=0.1)
+    for engine, series in throughput.items():
+        assert series[3] / series[9] == pytest.approx(6.6, rel=0.02)

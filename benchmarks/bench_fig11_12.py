@@ -1,0 +1,51 @@
+"""Figures 11 and 12: clause statistics over the bug-triggering queries.
+
+Shape targets (paper §5.3): MATCH is the most frequent main clause; WHERE
+occurs even more often (it refines both MATCH and WITH); a large majority of
+bugs involve WITH or ORDER BY (24 of 36 in the paper).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    collect_trigger_records,
+    figure11,
+    figure12,
+    render_histogram,
+)
+
+
+def test_figure11_clause_occurrences(benchmark, full_campaigns):
+    records = collect_trigger_records(full_campaigns)
+    histogram = run_once(benchmark, figure11, records)
+    print()
+    print(render_histogram(
+        histogram, "Figure 11: aggregated clause occurrences in bug-triggering queries"
+    ))
+    main_clauses = {
+        k: v for k, v in histogram.items()
+        if k in ("MATCH", "OPTIONAL MATCH", "UNWIND", "WITH", "RETURN", "CALL")
+    }
+    assert histogram.get("WHERE", 0) >= max(main_clauses.values())
+    assert histogram.get("MATCH", 0) > 0
+    assert histogram.get("WITH", 0) > 0
+
+
+def test_figure12_bugs_per_clause(benchmark, full_campaigns):
+    records = collect_trigger_records(full_campaigns)
+    histogram = run_once(benchmark, figure12, records)
+    print()
+    print(render_histogram(
+        histogram, "Figure 12: number of bugs involving each clause type"
+    ))
+    total = len(records)
+    # The canonical MATCH-WHERE-RETURN skeleton touches almost every bug.
+    for clause in ("MATCH", "WHERE", "RETURN"):
+        assert histogram.get(clause, 0) >= total * 0.8
+    # Paper: 24/36 involve ORDER BY or WITH.
+    with_or_order = sum(
+        1
+        for record in records
+        if "WITH" in record["clause_names"] or "ORDER BY" in record["clause_names"]
+    )
+    assert with_or_order / total >= 0.5

@@ -1,0 +1,46 @@
+"""Figures 13-15: bug distributions over dependencies, patterns, nesting.
+
+Shape targets (paper §5.3): over 61% of bugs come from queries with more
+than 20 cross-clause dependencies; two thirds involve more than three
+patterns; 83% involve expressions nested more than five levels deep.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    collect_trigger_records,
+    figure13,
+    figure14,
+    figure15,
+    render_histogram,
+)
+
+
+def test_figure13_dependencies(benchmark, full_campaigns):
+    records = collect_trigger_records(full_campaigns)
+    histogram = run_once(benchmark, figure13, records)
+    print()
+    print(render_histogram(histogram, "Figure 13: bugs by #dependencies"))
+    total = len(records)
+    heavy = sum(1 for r in records if r["dependencies"] > 20)
+    assert heavy / total >= 0.5  # paper: > 61%
+
+
+def test_figure14_patterns(benchmark, full_campaigns):
+    records = collect_trigger_records(full_campaigns)
+    histogram = run_once(benchmark, figure14, records)
+    print()
+    print(render_histogram(histogram, "Figure 14: bugs by #patterns"))
+    total = len(records)
+    multi = sum(1 for r in records if r["patterns"] > 3)
+    assert multi / total >= 0.5  # paper: two thirds
+
+
+def test_figure15_nesting(benchmark, full_campaigns):
+    records = collect_trigger_records(full_campaigns)
+    histogram = run_once(benchmark, figure15, records)
+    print()
+    print(render_histogram(histogram, "Figure 15: bugs by nesting depth"))
+    total = len(records)
+    deep = sum(1 for r in records if r["depth"] > 5)
+    assert deep / total >= 0.7  # paper: 83%

@@ -1,0 +1,39 @@
+"""Figure 18: cumulative bugs over the 24-hour-equivalent campaign.
+
+Shape targets (paper §5.4.4): GQS's curve dominates on both Neo4j and
+FalkorDB and keeps rising through the budget; the session-crash finds of
+GDBMeter/Gamera appear late in the FalkorDB run (the paper saw them after
+21 and 17 hours).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure18, render_series
+
+
+def test_figure18(benchmark, day_campaigns):
+    _rows, campaigns = day_campaigns
+    series = run_once(benchmark, figure18, campaigns)
+    print()
+    for engine, tool_series in series.items():
+        print(render_series(tool_series, f"Figure 18 — {engine} (cumulative bugs)"))
+        print()
+
+    for engine, tool_series in series.items():
+        gqs_final = tool_series["GQS"][-1][1]
+        for tool, points in tool_series.items():
+            if tool == "GQS":
+                continue
+            assert gqs_final >= points[-1][1], (engine, tool)
+        # Cumulative series are monotone.
+        for tool, points in tool_series.items():
+            counts = [count for _t, count in points]
+            assert counts == sorted(counts)
+
+    # The long-session crash finds land in the second half of the budget.
+    falkor = series.get("FalkorDB", {})
+    for tool in ("GDBMeter", "Gamera"):
+        points = falkor.get(tool, [])
+        if points and points[-1][1] > 0:
+            halfway = points[len(points) // 2][1]
+            assert halfway < points[-1][1] or halfway == 0

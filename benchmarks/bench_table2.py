@@ -1,0 +1,12 @@
+"""Table 2: summary of the tested GDBs (static engine metadata)."""
+
+from conftest import run_once
+
+from repro.experiments import render_table, table2
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, table2)
+    print()
+    print(render_table(rows, "Table 2: Summary of the tested GDBs"))
+    assert [row["GDB"] for row in rows] == ["Neo4j", "Memgraph", "Kùzu", "FalkorDB"]

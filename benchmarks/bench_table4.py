@@ -1,0 +1,38 @@
+"""Table 4: bugs missed by the existing testers, and their latencies.
+
+GQS's bug-triggering queries are replayed through each baseline's oracle;
+a bug counts as missed when the oracle raises no alarm.  Shape targets
+(paper): every baseline misses a majority of the bugs, the FalkorDB
+(RedisGraph) column dominates, and missed-bug latencies run 2-4 years on
+average with a 5-year maximum.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table, table4
+
+
+def test_table4(benchmark, full_campaigns):
+    data = run_once(benchmark, table4, full_campaigns)
+    print()
+    print(render_table(data["missed"], "Table 4: Bugs missed by existing testers"))
+    latency_rows = [
+        {"GDB": engine, "avg latency (yrs)": round(values["avg"], 1),
+         "max latency (yrs)": round(values["max"], 1)}
+        for engine, values in data["latency"].items()
+    ]
+    print(render_table(latency_rows, "Missed-bug latency"))
+
+    # Every tool misses a substantial number of GQS's bugs.
+    for row in data["missed"]:
+        assert row["Total"] >= 5, row
+        # The RedisGraph/FalkorDB column carries the most misses.
+        supported = {
+            engine: row[engine]
+            for engine in ("neo4j", "memgraph", "falkordb")
+            if isinstance(row[engine], int)
+        }
+        if "falkordb" in supported:
+            assert supported["falkordb"] == max(supported.values())
+    # Latency shape: FalkorDB's missed bugs are the longest-latent.
+    assert data["latency"]["falkordb"]["max"] >= data["latency"]["neo4j"]["max"]

@@ -1,0 +1,31 @@
+"""Table 5: test-query complexity comparison across the six tools.
+
+Shape targets (paper): GQS leads every column — roughly 8 patterns, deep
+nesting, ~6.5 clauses, and about twice GRev's cross-clause dependencies;
+GDBMeter and Gamera sit at the bottom with ~2-clause queries.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table, table5
+
+
+def test_table5(benchmark):
+    rows = run_once(benchmark, table5, n_queries=250)
+    print()
+    print(render_table(rows, "Table 5: Comparison on test query complexity"))
+
+    by_name = {row["Tester"]: row for row in rows}
+    gqs = by_name["GQS"]
+    # GQS dominates every metric.
+    for metric in ("Pattern", "Expression", "Clause", "Dependency"):
+        for name, row in by_name.items():
+            if name == "GQS":
+                continue
+            assert gqs[metric] >= row[metric], (metric, name)
+    # The baseline ordering of the paper: GRev and GDsmith are the complex
+    # baselines; GDBMeter and Gamera the minimal ones.
+    assert by_name["GRev"]["Dependency"] > by_name["GDBMeter"]["Dependency"]
+    assert by_name["GDsmith"]["Clause"] > by_name["Gamera"]["Clause"]
+    # GQS has roughly double GRev's dependencies (paper: 56 vs 28).
+    assert gqs["Dependency"] >= 1.4 * by_name["GRev"]["Dependency"]

@@ -1,0 +1,57 @@
+"""A short GQS bug-hunting campaign against one simulated GDB.
+
+Runs the full testing loop (graph generation → ground truth → synthesis →
+validation) against the FalkorDB simulator for a few simulated minutes and
+prints every distinct bug found, including the bug-triggering query — the
+artifact the paper's bug reports are built from.
+
+Run:  python examples/bug_hunt.py [engine] [sim_minutes]
+      engine in {neo4j, memgraph, kuzu, falkordb}
+"""
+
+import sys
+import textwrap
+
+from repro.core.runner import GQSTester
+from repro.gdb import create_engine, faults_for
+
+
+def main(engine_name: str = "falkordb", sim_minutes: float = 3.0) -> None:
+    engine = create_engine(engine_name)
+    tester = GQSTester()
+    print(
+        f"running GQS against {engine.dialect.display_name} for "
+        f"{sim_minutes:g} simulated minutes..."
+    )
+    result = tester.run(engine, budget_seconds=sim_minutes * 60.0, seed=1)
+
+    print(
+        f"\n{result.queries_run} queries executed "
+        f"({result.sim_seconds:.0f} simulated seconds); "
+        f"{len(result.reports)} failing tests, "
+        f"{len(result.detected_faults)} distinct bugs, "
+        f"{result.false_positive_count} false positives."
+    )
+
+    catalog = {fault.fault_id: fault for fault in faults_for(engine_name)}
+    for record in result.trigger_records:
+        fault = catalog[record["fault_id"]]
+        kind = "logic bug" if fault.is_logic else f"{fault.category} bug"
+        print(f"\n=== {fault.fault_id} ({kind}) ===")
+        print(f"    {fault.description}")
+        print(
+            f"    triggering query: {record['n_steps']} clauses, "
+            f"{record['patterns']} patterns, depth {record['depth']}, "
+            f"{record['dependencies']} cross-clause dependencies"
+        )
+        wrapped = textwrap.fill(
+            record["query_text"], width=96,
+            initial_indent="    | ", subsequent_indent="    | ",
+        )
+        print(wrapped[:1400])
+
+
+if __name__ == "__main__":
+    engine_name = sys.argv[1] if len(sys.argv) > 1 else "falkordb"
+    minutes = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+    main(engine_name, minutes)

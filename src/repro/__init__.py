@@ -1,0 +1,18 @@
+"""GQS — Testing Graph Databases with Synthesized Queries (SIGMOD 2025).
+
+A complete Python reproduction: a labeled-property-graph substrate, a Cypher
+language stack with a reference interpreter, four simulated GDBs with
+calibrated fault injection, the GQS query synthesizer with its ground-truth
+oracle, five baseline testers, and the harness regenerating every table and
+figure of the paper's evaluation.
+
+Typical entry points:
+
+>>> from repro.graph import GraphGenerator
+>>> from repro.core import QuerySynthesizer, check_result
+>>> from repro.gdb import create_engine
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,20 @@
+"""Re-implementations of the five state-of-the-art baseline testers (§5.4)."""
+
+from repro.baselines.common import BaselineTester, GeneratorProfile, RandomQueryGenerator
+from repro.baselines.gdbmeter import GDBMeterTester, partition_query
+from repro.baselines.gdsmith import GDsmithTester
+from repro.baselines.gamera import GameraTester
+from repro.baselines.gqt import GQTTester
+from repro.baselines.grev import GRevTester
+
+__all__ = [
+    "BaselineTester",
+    "GeneratorProfile",
+    "RandomQueryGenerator",
+    "GDBMeterTester",
+    "partition_query",
+    "GDsmithTester",
+    "GameraTester",
+    "GQTTester",
+    "GRevTester",
+]

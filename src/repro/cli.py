@@ -1,0 +1,227 @@
+"""Command-line interface for the GQS reproduction.
+
+Usage (also available as ``python -m repro``):
+
+    repro campaign --engine falkordb --minutes 5 [--tester GQS] [--out r.json]
+    repro compare  --engine falkordb --minutes 2
+    repro table    2|3|5|6
+    repro figure   10|11|12|13|14|15|18
+    repro synthesize --seed 7 [--engine neo4j]
+    repro calibrate [--n 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GQS: testing graph databases with synthesized queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run one tester against one engine")
+    campaign.add_argument("--engine", default="falkordb",
+                          choices=["neo4j", "memgraph", "kuzu", "falkordb"])
+    campaign.add_argument("--tester", default="GQS",
+                          choices=["GQS", "GDsmith", "GDBMeter", "Gamera",
+                                   "GQT", "GRev"])
+    campaign.add_argument("--minutes", type=float, default=5.0,
+                          help="simulated minutes of testing")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--gate-scale", type=float, default=1.0,
+                          help="<1 compresses fault latency")
+    campaign.add_argument("--out", default=None,
+                          help="write the campaign result as JSON")
+
+    compare = sub.add_parser("compare", help="all six testers, same budget")
+    compare.add_argument("--engine", default="falkordb",
+                         choices=["neo4j", "memgraph", "kuzu", "falkordb"])
+    compare.add_argument("--minutes", type=float, default=2.0)
+    compare.add_argument("--seed", type=int, default=0)
+
+    table = sub.add_parser("table", help="regenerate a table from the paper")
+    table.add_argument("id", type=int, choices=[2, 3, 5, 6])
+    table.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate a figure from the paper")
+    figure.add_argument("id", type=int, choices=[10, 11, 12, 13, 14, 15, 18])
+    figure.add_argument("--seed", type=int, default=0)
+
+    synthesize = sub.add_parser(
+        "synthesize", help="synthesize one query and show its ground truth"
+    )
+    synthesize.add_argument("--seed", type=int, default=7)
+    synthesize.add_argument("--engine", default="neo4j",
+                            choices=["neo4j", "memgraph", "kuzu", "falkordb"])
+    synthesize.add_argument("--gremlin", action="store_true",
+                            help="also translate the query to Gremlin (§7)")
+
+    calibrate = sub.add_parser(
+        "calibrate", help="print per-fault trigger rates per generator"
+    )
+    calibrate.add_argument("--n", type=int, default=200)
+    return parser
+
+
+def _cmd_campaign(args) -> int:
+    from repro.experiments import make_tester, tester_supports
+    from repro.experiments.campaign import split_fault_counts
+    from repro.gdb import create_engine
+
+    if not tester_supports(args.tester, args.engine):
+        print(f"{args.tester} does not support {args.engine}", file=sys.stderr)
+        return 2
+    engine = create_engine(args.engine, gate_scale=args.gate_scale)
+    tester = make_tester(args.tester, args.engine, gate_scale=args.gate_scale)
+    result = tester.run(engine, budget_seconds=args.minutes * 60.0, seed=args.seed)
+    logic, other = split_fault_counts(result.detected_faults)
+    print(
+        f"{args.tester} on {args.engine}: {result.queries_run} queries, "
+        f"{logic + other} distinct bugs ({logic} logic), "
+        f"{result.false_positive_count} false positives"
+    )
+    for fault_id in result.detected_faults:
+        print(f"  - {fault_id}")
+    if args.out:
+        from repro.core.reporting import save_campaign
+
+        save_campaign(result, args.out)
+        print(f"campaign written to {args.out}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments import make_tester, tester_supports
+    from repro.experiments.campaign import TESTER_NAMES, split_fault_counts
+    from repro.gdb import create_engine
+
+    print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} {'FPs':>5s}")
+    for tool in TESTER_NAMES:
+        if not tester_supports(tool, args.engine):
+            print(f"{tool:>9s} {'-':>8s}")
+            continue
+        engine = create_engine(args.engine)
+        tester = make_tester(tool, args.engine)
+        result = tester.run(
+            engine, budget_seconds=args.minutes * 60.0, seed=args.seed
+        )
+        logic, other = split_fault_counts(result.detected_faults)
+        print(
+            f"{tool:>9s} {result.queries_run:8d} {logic + other:5d} "
+            f"{logic:6d} {result.false_positive_count:5d}"
+        )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro import experiments as E
+
+    if args.id == 2:
+        print(E.render_table(E.table2(), "Table 2"))
+    elif args.id == 3:
+        campaigns = E.run_full_gqs_campaigns(seed=args.seed)
+        print(E.render_table(E.table3(campaigns), "Table 3"))
+    elif args.id == 5:
+        print(E.render_table(E.table5(n_queries=250, seed=args.seed), "Table 5"))
+    elif args.id == 6:
+        rows, _campaigns = E.table6(seed=args.seed)
+        print(E.render_table(rows, "Table 6"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro import experiments as E
+
+    if args.id == 18:
+        _rows, campaigns = E.table6(seed=args.seed)
+        for engine, series in E.figure18(campaigns).items():
+            print(E.render_series(series, f"Figure 18 — {engine}"))
+        return 0
+
+    campaigns = E.run_full_gqs_campaigns(seed=args.seed)
+    records = E.collect_trigger_records(campaigns)
+    if args.id == 10:
+        for engine, counts in E.figure10(records).items():
+            print(E.render_kv({k: v for k, v in counts.items() if v},
+                              f"Figure 10 — {engine}"))
+        for engine, series in E.figure10_throughput().items():
+            print(E.render_kv(series, f"Figure 10 — {engine} q/s by steps"))
+    elif args.id == 11:
+        print(E.render_histogram(E.figure11(records), "Figure 11"))
+    elif args.id == 12:
+        print(E.render_histogram(E.figure12(records), "Figure 12"))
+    elif args.id == 13:
+        print(E.render_histogram(E.figure13(records), "Figure 13"))
+    elif args.id == 14:
+        print(E.render_histogram(E.figure14(records), "Figure 14"))
+    elif args.id == 15:
+        print(E.render_histogram(E.figure15(records), "Figure 15"))
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.core import QuerySynthesizer
+    from repro.core.runner import synthesizer_config_for
+    from repro.cypher import print_query
+    from repro.gdb import create_engine
+    from repro.graph import GraphGenerator
+
+    schema, graph = GraphGenerator(seed=args.seed).generate_with_schema()
+    engine = create_engine(args.engine)
+    synthesizer = QuerySynthesizer(
+        graph, rng=random.Random(args.seed),
+        config=synthesizer_config_for(engine),
+    )
+    result = synthesizer.synthesize()
+    print("expected result set:")
+    for alias, value in zip(result.expected.columns, result.ground_truth.row()):
+        print(f"  {alias} = {value!r}")
+    print(f"rows expected: {len(result.expected)}")
+    print(f"\nquery ({result.n_steps} clauses):")
+    print(print_query(result.query))
+    if args.gremlin:
+        from repro.cypher.gremlin import UnsupportedForGremlin, translate_query
+
+        print("\nGremlin translation (§7):")
+        try:
+            print(translate_query(result.query))
+        except UnsupportedForGremlin as exc:
+            print(f"  not translatable: {exc}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    import importlib.util
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "scripts" / "calibrate_faults.py"
+    spec = importlib.util.spec_from_file_location("calibrate_faults", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main(args.n)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "campaign": _cmd_campaign,
+        "compare": _cmd_compare,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "synthesize": _cmd_synthesize,
+        "calibrate": _cmd_calibrate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

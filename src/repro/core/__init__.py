@@ -1,0 +1,38 @@
+"""GQS core: ground truth, operation scheduling, and query synthesis."""
+
+from repro.core.expressions import ExpressionFactory
+from repro.core.ground_truth import (
+    GroundTruth,
+    GroundTruthEntry,
+    build_constraint_graph,
+    select_ground_truth,
+)
+from repro.core.operations import ConstraintGraph, OpKind, Operation
+from repro.core.oracle import OracleVerdict, check_result
+from repro.core.patterns import GraphPath, PatternBuilder
+from repro.core.scheduler import ScheduledStep, schedule
+from repro.core.synthesizer import (
+    QuerySynthesizer,
+    SynthesisResult,
+    SynthesizerConfig,
+)
+
+__all__ = [
+    "GroundTruth",
+    "GroundTruthEntry",
+    "select_ground_truth",
+    "build_constraint_graph",
+    "ConstraintGraph",
+    "OpKind",
+    "Operation",
+    "ScheduledStep",
+    "schedule",
+    "GraphPath",
+    "PatternBuilder",
+    "ExpressionFactory",
+    "QuerySynthesizer",
+    "SynthesisResult",
+    "SynthesizerConfig",
+    "OracleVerdict",
+    "check_result",
+]

@@ -1,0 +1,235 @@
+"""Ground-truth selection and synthesis-plan seeding (paper §3.1-§3.2).
+
+Step 2 of the GQS workflow randomly selects properties of graph elements;
+their key-value pairs form the *expected result set*.  This module selects
+that set and derives the full collection of essential and supplementary
+operations, together with their temporal constraints, ready for the
+Algorithm 1 scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.operations import ConstraintGraph, OpKind, Operation
+from repro.graph.model import PropertyGraph, PropertyKey
+
+__all__ = ["GroundTruth", "GroundTruthEntry", "select_ground_truth", "PlanSeed", "build_constraint_graph"]
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """One expected-result column: a property key and its current value."""
+
+    key: PropertyKey
+    value: Any
+    alias: str
+
+
+@dataclass
+class GroundTruth:
+    """The expected result set: an ordered list of key-value pairs.
+
+    ``columns()``/``row()`` give the single expected output row; query
+    synthesis may multiply it (e.g. by leaving an UNWIND untruncated), which
+    the synthesizer tracks separately.
+    """
+
+    entries: List[GroundTruthEntry]
+
+    def columns(self) -> List[str]:
+        return [entry.alias for entry in self.entries]
+
+    def row(self) -> Tuple[Any, ...]:
+        return tuple(entry.value for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def select_ground_truth(
+    graph: PropertyGraph,
+    rng: random.Random,
+    max_size: int = 6,
+    alias_start: int = 0,
+) -> GroundTruth:
+    """Randomly select up to *max_size* properties as the expected result.
+
+    The paper limits expected result sets to 6 entries and observes all bugs
+    triggered with fewer than 5 (§5.1).  Output aliases are drawn from the
+    shared ``a<i>`` namespace, continuing from *alias_start*.
+    """
+    keys = graph.all_property_keys()
+    if not keys:
+        raise ValueError("graph has no properties to select")
+    size = rng.randint(1, min(max_size, len(keys)))
+    chosen = rng.sample(keys, size)
+    entries = [
+        GroundTruthEntry(key, graph.property_value(key), f"a{alias_start + i}")
+        for i, key in enumerate(chosen)
+    ]
+    return GroundTruth(entries)
+
+
+@dataclass
+class PlanSeed:
+    """Everything the scheduler needs: the constraint DAG plus bookkeeping.
+
+    ``element_vars`` maps ``(kind, id)`` graph elements to their query
+    variable; ``alias_exprs`` records which element variable each
+    supplementary alias draws on; ``list_sources`` likewise for list
+    expansions.  ``next_alias`` continues the shared alias counter.
+    """
+
+    graph: ConstraintGraph
+    ground_truth: GroundTruth
+    element_vars: Dict[Tuple[str, int], str]
+    supplementary_aliases: List[str]
+    alias_sources: Dict[str, Optional[str]]
+    list_aliases: List[str]
+    list_sources: Dict[str, Optional[str]]
+    next_alias: int
+
+
+def build_constraint_graph(
+    graph: PropertyGraph,
+    ground_truth: GroundTruth,
+    rng: random.Random,
+    extra_elements: int = 2,
+    extra_aliases: int = 2,
+    extra_lists: int = 1,
+) -> PlanSeed:
+    """Derive the operations and constraints of §3.2/§3.3 (Example 3.2).
+
+    Essential operations: for each expected property ``<E, p>``, introduce
+    the element (``E+``), access the property (``(E.p)+``), and remove the
+    element (``E-``), constrained ``E+ ≺ (E.p)+ ⪯ E-``.  Supplementary
+    operations add random extra elements, aliases over them, and list
+    expansions, each paired with a removal.
+    """
+    cg = ConstraintGraph()
+    element_vars: Dict[Tuple[str, int], str] = {}
+    adds: Dict[Tuple[str, int], Operation] = {}
+    removes: Dict[Tuple[str, int], Operation] = {}
+    node_counter = 0
+    rel_counter = 0
+
+    def var_for(element: Tuple[str, int]) -> str:
+        nonlocal node_counter, rel_counter
+        if element in element_vars:
+            return element_vars[element]
+        if element[0] == "node":
+            name = f"n{node_counter}"
+            node_counter += 1
+        else:
+            name = f"r{rel_counter}"
+            rel_counter += 1
+        element_vars[element] = name
+        return name
+
+    def ensure_element_ops(element: Tuple[str, int]) -> Tuple[Operation, Operation]:
+        """E+ and E- for *element*, created once even if shared."""
+        if element in adds:
+            return adds[element], removes[element]
+        variable = var_for(element)
+        add = cg.add_operation(
+            Operation(OpKind.ELEMENT_ADD, variable, element=element, essential=True)
+        )
+        remove = cg.add_operation(
+            Operation(OpKind.ELEMENT_REMOVE, variable, element=element, essential=True)
+        )
+        adds[element] = add
+        removes[element] = remove
+        return add, remove
+
+    # -- essential operations (category i) ------------------------------
+    for index, entry in enumerate(ground_truth.entries):
+        element = (entry.key.element_kind, entry.key.element_id)
+        add, remove = ensure_element_ops(element)
+        access = cg.add_operation(
+            Operation(
+                OpKind.PROP_ACCESS,
+                entry.alias,
+                element=element,
+                property_name=entry.key.name,
+                essential=True,
+                ground_truth_index=index,
+            )
+        )
+        cg.add_strict(add, access)     # E+ ≺ (E.p)+
+        cg.add_weak(access, remove)    # (E.p)+ ⪯ E-
+
+    # -- supplementary operations (category ii) --------------------------
+    next_alias = len(ground_truth.entries)
+    node_ids = graph.node_ids()
+    rel_ids = graph.relationship_ids()
+
+    def random_element() -> Tuple[str, int]:
+        if rel_ids and rng.random() < 0.3:
+            return ("rel", rng.choice(rel_ids))
+        return ("node", rng.choice(node_ids))
+
+    for _ in range(rng.randint(0, max(0, extra_elements))):
+        element = random_element()
+        if element in adds:
+            continue
+        add, remove = ensure_element_ops(element)
+        cg.add_weak(add, remove)       # E+ ⪯ E- (nothing forced in between)
+
+    supplementary_aliases: List[str] = []
+    alias_sources: Dict[str, Optional[str]] = {}
+    for _ in range(rng.randint(0, max(0, extra_aliases))):
+        alias = f"a{next_alias}"
+        next_alias += 1
+        supplementary_aliases.append(alias)
+        # The alias binds to an expression over a random element (or over
+        # nothing, i.e. a pure constant expression).
+        source_element: Optional[Tuple[str, int]] = None
+        if adds and rng.random() < 0.7:
+            source_element = rng.choice(list(adds))
+        elif node_ids and rng.random() < 0.5:
+            source_element = random_element()
+        alias_add = cg.add_operation(Operation(OpKind.ALIAS_ADD, alias))
+        alias_remove = cg.add_operation(Operation(OpKind.ALIAS_REMOVE, alias))
+        cg.add_strict(alias_add, alias_remove)  # a+ ≺ a-
+        if source_element is not None:
+            add, remove = ensure_element_ops(source_element)
+            cg.add_strict(add, alias_add)      # N+ ≺ a+
+            cg.add_weak(alias_add, remove)     # a+ ⪯ N-
+            alias_sources[alias] = element_vars[source_element]
+        else:
+            alias_sources[alias] = None
+
+    list_aliases: List[str] = []
+    list_sources: Dict[str, Optional[str]] = {}
+    for _ in range(rng.randint(0, max(0, extra_lists))):
+        alias = f"a{next_alias}"
+        next_alias += 1
+        list_aliases.append(alias)
+        source_element = None
+        if adds and rng.random() < 0.6:
+            source_element = rng.choice(list(adds))
+        expand = cg.add_operation(Operation(OpKind.LIST_EXPAND, alias))
+        truncate = cg.add_operation(Operation(OpKind.LIST_TRUNCATE, alias))
+        cg.add_strict(expand, truncate)            # l+ ≺ l-
+        if source_element is not None:
+            add, remove = ensure_element_ops(source_element)
+            cg.add_strict(add, expand)             # N+ ≺ l+
+            cg.add_weak(expand, remove)            # l+ ⪯ N-
+            list_sources[alias] = element_vars[source_element]
+        else:
+            list_sources[alias] = None
+
+    cg.validate_acyclic()
+    return PlanSeed(
+        graph=cg,
+        ground_truth=ground_truth,
+        element_vars=element_vars,
+        supplementary_aliases=supplementary_aliases,
+        alias_sources=alias_sources,
+        list_aliases=list_aliases,
+        list_sources=list_sources,
+        next_alias=next_alias,
+    )

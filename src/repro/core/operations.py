@@ -1,0 +1,174 @@
+"""Paired add/subtract operations (paper §3.2, Table 1).
+
+GQS decomposes the synthesis task into operations over graph elements,
+aliases, and lists:
+
+=========  ====================  ========================
+notation   operation             clause
+=========  ====================  ========================
+E+         introduce elements    (OPTIONAL) MATCH
+E-         remove elements       WITH, RETURN
+A+         create aliases        WITH, RETURN
+A-         remove aliases        WITH, RETURN
+L+         expand lists          UNWIND (or CALL ... YIELD)
+L-         truncate lists        WITH, RETURN
+(E.p)+     access a property     WITH, RETURN
+=========  ====================  ========================
+
+*Essential* operations realize the expected result set (element
+introduction, property access, and the paired element removals);
+*supplementary* operations add unrelated elements, aliases, and lists, each
+paired with a removal.  Operations carry the temporal constraints of §3.3:
+``O ≺ O'`` (strict: O strictly before O') and ``O ⪯ O'`` (weak: O' may share
+O's step).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "ConstraintGraph",
+    "MATCH_LIKE",
+    "PROJECTION_LIKE",
+    "UNWIND_LIKE",
+]
+
+
+class OpKind:
+    """Operation kind tags."""
+
+    ELEMENT_ADD = "element_add"          # E+
+    ELEMENT_REMOVE = "element_remove"    # E-
+    PROP_ACCESS = "prop_access"          # (E.p)+
+    ALIAS_ADD = "alias_add"              # A+
+    ALIAS_REMOVE = "alias_remove"        # A-
+    LIST_EXPAND = "list_expand"          # L+
+    LIST_TRUNCATE = "list_truncate"      # L-
+
+
+# Clause families an operation may be realized in (Table 1).
+MATCH_LIKE = frozenset(["MATCH", "OPTIONAL MATCH"])
+PROJECTION_LIKE = frozenset(["WITH", "RETURN"])
+UNWIND_LIKE = frozenset(["UNWIND", "CALL"])
+
+_CLAUSES_FOR_KIND = {
+    OpKind.ELEMENT_ADD: MATCH_LIKE,
+    OpKind.ELEMENT_REMOVE: PROJECTION_LIKE,
+    OpKind.PROP_ACCESS: PROJECTION_LIKE,
+    OpKind.ALIAS_ADD: PROJECTION_LIKE,
+    OpKind.ALIAS_REMOVE: PROJECTION_LIKE,
+    OpKind.LIST_EXPAND: UNWIND_LIKE,
+    OpKind.LIST_TRUNCATE: PROJECTION_LIKE,
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One schedulable operation.
+
+    ``variable`` is the query variable the operation concerns (a node or
+    relationship variable for E± / (E.p)+, an alias name for A± and L±).
+    ``element`` identifies the graph element for element operations as a
+    ``(kind, id)`` pair; ``property_name`` is set for property accesses;
+    ``essential`` marks category-(i) operations tied to the expected result
+    set.  ``ground_truth_index`` records which expected-result column a
+    property access feeds.
+    """
+
+    kind: str
+    variable: str
+    element: Optional[Tuple[str, int]] = None
+    property_name: Optional[str] = None
+    essential: bool = False
+    ground_truth_index: Optional[int] = None
+
+    @property
+    def clause_kinds(self) -> FrozenSet[str]:
+        return _CLAUSES_FOR_KIND[self.kind]
+
+    def __str__(self) -> str:
+        symbol = {
+            OpKind.ELEMENT_ADD: "+",
+            OpKind.ELEMENT_REMOVE: "-",
+            OpKind.PROP_ACCESS: ".get",
+            OpKind.ALIAS_ADD: "+",
+            OpKind.ALIAS_REMOVE: "-",
+            OpKind.LIST_EXPAND: "+",
+            OpKind.LIST_TRUNCATE: "-",
+        }[self.kind]
+        prop = f".{self.property_name}" if self.property_name else ""
+        return f"{self.variable}{prop}{symbol}"
+
+
+class ConstraintGraph:
+    """The DAG of operations and temporal constraints fed to Algorithm 1.
+
+    Nodes are :class:`Operation` instances; edges are the ``≺`` constraints.
+    Weak constraints ``O ⪯ O'`` are stored both as DAG edges (so that O' is
+    never scheduled *before* O) and in ``weak_related`` (so the scheduler may
+    co-locate O' with O in the same step, per Algorithm 1 lines 7-11).
+    """
+
+    def __init__(self) -> None:
+        self.operations: List[Operation] = []
+        self._successors: Dict[Operation, Set[Operation]] = {}
+        self._predecessors: Dict[Operation, Set[Operation]] = {}
+        self.weak_related: Dict[Operation, Set[Operation]] = {}
+
+    def add_operation(self, op: Operation) -> Operation:
+        if op in self._successors:
+            raise ValueError(f"duplicate operation {op}")
+        self.operations.append(op)
+        self._successors[op] = set()
+        self._predecessors[op] = set()
+        self.weak_related[op] = set()
+        return op
+
+    def add_strict(self, before: Operation, after: Operation) -> None:
+        """Record ``before ≺ after``."""
+        self._successors[before].add(after)
+        self._predecessors[after].add(before)
+
+    def add_weak(self, before: Operation, after: Operation) -> None:
+        """Record ``before ⪯ after``."""
+        self.add_strict(before, after)
+        self.weak_related[before].add(after)
+
+    def indegree(self, op: Operation) -> int:
+        return len(self._predecessors[op])
+
+    def predecessors(self, op: Operation) -> Set[Operation]:
+        return set(self._predecessors[op])
+
+    def remove(self, ops: List[Operation]) -> None:
+        """Remove scheduled operations and their incident constraints."""
+        for op in ops:
+            for succ in self._successors.pop(op):
+                self._predecessors[succ].discard(op)
+            for pred in self._predecessors.pop(op):
+                self._successors[pred].discard(op)
+            self.weak_related.pop(op, None)
+            self.operations.remove(op)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def validate_acyclic(self) -> None:
+        """Raise ValueError if the constraint graph has a cycle."""
+        indegrees = {op: self.indegree(op) for op in self.operations}
+        queue = [op for op, deg in indegrees.items() if deg == 0]
+        visited = 0
+        while queue:
+            op = queue.pop()
+            visited += 1
+            for succ in self._successors[op]:
+                indegrees[succ] -= 1
+                if indegrees[succ] == 0:
+                    queue.append(succ)
+        if visited != len(self.operations):
+            raise ValueError("constraint graph contains a cycle")

@@ -1,0 +1,45 @@
+"""The GQS test oracle (paper §3.1, step 4).
+
+After executing the synthesized query on the GDB under test, any discrepancy
+between the actual result set and the expected result set (the ground truth)
+indicates a logic bug.  Comparison is bag-based over Cypher value
+equivalence; column names and order must match, since the synthesizer fixes
+the output aliases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.binding import ResultSet
+
+__all__ = ["OracleVerdict", "check_result"]
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Outcome of one ground-truth comparison."""
+
+    passed: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.passed
+
+
+def check_result(expected: ResultSet, actual: ResultSet) -> OracleVerdict:
+    """Compare the actual result against the established ground truth."""
+    if list(actual.columns) != list(expected.columns):
+        return OracleVerdict(
+            False,
+            f"column mismatch: expected {expected.columns}, got {actual.columns}",
+        )
+    if len(actual) != len(expected):
+        return OracleVerdict(
+            False,
+            f"row count mismatch: expected {len(expected)}, got {len(actual)}",
+        )
+    if not expected.same_rows(actual):
+        return OracleVerdict(False, "row values differ from ground truth")
+    return OracleVerdict(True)

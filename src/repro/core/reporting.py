@@ -1,0 +1,87 @@
+"""Campaign persistence: serialize bug reports and campaign results.
+
+The paper's artifact ships its bug reports (query, expected result, actual
+result, affected engine) as the unit of communication with developers; this
+module provides the same artifact as JSON, plus round-tripping so stored
+campaigns can be re-analyzed (e.g. re-rendering the §5.3 figures without
+re-running the campaign).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.runner import BugReport, CampaignResult
+
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "campaign_to_dict",
+    "campaign_from_dict",
+    "save_campaign",
+    "load_campaign",
+]
+
+
+def report_to_dict(report: BugReport) -> Dict[str, Any]:
+    """JSON-ready representation of one bug report."""
+    return {
+        "tester": report.tester,
+        "engine": report.engine,
+        "kind": report.kind,
+        "detail": report.detail,
+        "query": report.query_text,
+        "fault_id": report.fault_id,
+        "sim_time": report.sim_time,
+        "n_steps": report.n_steps,
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> BugReport:
+    return BugReport(
+        tester=data["tester"],
+        engine=data["engine"],
+        kind=data["kind"],
+        detail=data["detail"],
+        query_text=data["query"],
+        fault_id=data.get("fault_id"),
+        sim_time=data.get("sim_time", 0.0),
+        n_steps=data.get("n_steps", 0),
+    )
+
+
+def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
+    """JSON-ready representation of a full campaign."""
+    return {
+        "tester": result.tester,
+        "engine": result.engine,
+        "queries_run": result.queries_run,
+        "sim_seconds": result.sim_seconds,
+        "reports": [report_to_dict(report) for report in result.reports],
+        "timeline": [[when, fault_id] for when, fault_id in result.timeline],
+        "trigger_records": result.trigger_records,
+    }
+
+
+def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
+    result = CampaignResult(data["tester"], data["engine"])
+    result.queries_run = data["queries_run"]
+    result.sim_seconds = data["sim_seconds"]
+    result.reports = [report_from_dict(item) for item in data["reports"]]
+    result.timeline = [(when, fault_id) for when, fault_id in data["timeline"]]
+    result.trigger_records = list(data.get("trigger_records", []))
+    return result
+
+
+def save_campaign(result: CampaignResult, path: Union[str, Path]) -> None:
+    """Write a campaign to *path* as JSON."""
+    Path(path).write_text(
+        json.dumps(campaign_to_dict(result), indent=2, sort_keys=True)
+    )
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignResult:
+    """Read a campaign previously written by :func:`save_campaign`."""
+    return campaign_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,132 @@
+"""Operation scheduling across synthesis steps (paper §3.3, Algorithm 1).
+
+The scheduler consumes the constraint DAG and assigns operations to steps:
+repeatedly scan the remaining operations, pick zero-indegree operations whose
+clause type aligns with the current step (random inclusion), then consider
+their weakly-related successors for co-location (Algorithm 1 lines 7-11).
+Every step also records the referenceable variables available to later steps
+(Algorithm 1 line 14).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set
+
+from repro.core.operations import ConstraintGraph, OpKind, Operation
+
+__all__ = ["ScheduledStep", "schedule"]
+
+
+@dataclass
+class ScheduledStep:
+    """One synthesis step: its operations, clause family, and Var[i]."""
+
+    operations: List[Operation]
+    clause_kinds: FrozenSet[str]
+    referenceable: List[str] = field(default_factory=list)
+
+    def ops_of_kind(self, kind: str) -> List[Operation]:
+        return [op for op in self.operations if op.kind == kind]
+
+
+def _align(current: Optional[FrozenSet[str]], op: Operation) -> Optional[FrozenSet[str]]:
+    """Intersection of clause families; None if incompatible."""
+    if current is None:
+        return op.clause_kinds
+    merged = current & op.clause_kinds
+    return merged if merged else None
+
+
+def schedule(
+    graph: ConstraintGraph,
+    rng: random.Random,
+    include_probability: float = 0.6,
+) -> List[ScheduledStep]:
+    """Run Algorithm 1: distribute all operations over steps.
+
+    ``include_probability`` is the rand() gate of line 5; lower values
+    spread operations over more steps (more clauses in the final query).
+    The procedure always makes progress: if a pass selects nothing, the
+    first eligible operation is forced in.
+    """
+    steps: List[ScheduledStep] = []
+    referenceable: List[str] = []
+
+    while len(graph) > 0:
+        step_ops: List[Operation] = []
+        step_kinds: Optional[FrozenSet[str]] = None
+
+        for op in list(graph.operations):
+            if op in step_ops:
+                continue
+            if graph.indegree(op) != 0:
+                continue
+            merged = _align(step_kinds, op)
+            if merged is None:
+                continue
+            if rng.random() >= include_probability:
+                continue
+            step_ops.append(op)
+            step_kinds = merged
+            # Algorithm 1 lines 7-11: weakly-related successors may share
+            # the step when this op is their only remaining predecessor.
+            for weak in graph.weak_related[op]:
+                if weak in step_ops:
+                    continue
+                # Algorithm 1 requires deg-(o') = 1 with o as the sole
+                # remaining predecessor; we accept the slight generalization
+                # where every predecessor is already in this step *and*
+                # relates weakly (a strict predecessor forbids sharing).
+                predecessors = graph.predecessors(weak)
+                if predecessors - set(step_ops):
+                    continue
+                if any(weak not in graph.weak_related[pred] for pred in predecessors):
+                    continue
+                merged_weak = _align(step_kinds, weak)
+                if merged_weak is None:
+                    continue
+                if rng.random() >= include_probability:
+                    continue
+                step_ops.append(weak)
+                step_kinds = merged_weak
+
+        if not step_ops:
+            # Force progress deterministically.
+            for op in graph.operations:
+                if graph.indegree(op) == 0:
+                    step_ops.append(op)
+                    step_kinds = op.clause_kinds
+                    break
+            else:  # pragma: no cover - validate_acyclic prevents this
+                raise RuntimeError("constraint graph is stuck (cycle?)")
+
+        # Var[i] = ref_vars(Var[i-1], Step[i]): add introduced variables,
+        # drop removed ones.
+        introduced = [
+            op.variable
+            for op in step_ops
+            if op.kind
+            in (OpKind.ELEMENT_ADD, OpKind.ALIAS_ADD, OpKind.LIST_EXPAND, OpKind.PROP_ACCESS)
+        ]
+        removed = {
+            op.variable
+            for op in step_ops
+            if op.kind
+            in (OpKind.ELEMENT_REMOVE, OpKind.ALIAS_REMOVE, OpKind.LIST_TRUNCATE)
+        }
+        referenceable = [
+            name for name in referenceable if name not in removed
+        ] + [name for name in introduced if name not in removed]
+
+        graph.remove(step_ops)
+        steps.append(
+            ScheduledStep(
+                operations=step_ops,
+                clause_kinds=step_kinds or frozenset(),
+                referenceable=list(referenceable),
+            )
+        )
+
+    return steps

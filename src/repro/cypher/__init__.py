@@ -1,0 +1,20 @@
+"""Cypher language substrate: AST, printer, lexer/parser, functions, analysis."""
+
+from repro.cypher import ast
+from repro.cypher.printer import print_clause, print_expression, print_pattern, print_query
+from repro.cypher.parser import ParseError, parse_expression, parse_query
+from repro.cypher.analysis import QueryMetrics, analyze, clause_histogram
+
+__all__ = [
+    "ast",
+    "print_query",
+    "print_clause",
+    "print_pattern",
+    "print_expression",
+    "parse_query",
+    "parse_expression",
+    "ParseError",
+    "QueryMetrics",
+    "analyze",
+    "clause_histogram",
+]

@@ -1,0 +1,181 @@
+"""Query complexity analysis (paper §5.4.2).
+
+The paper parses 10 000 test queries per tool into ASTs and measures, per
+query: (i) the number of patterns involved, (ii) the maximum depth of nested
+expressions, (iii) the number of clauses involved, and (iv) the number of
+cross-clause data references.  This module computes those four metrics plus
+the per-clause-type histograms behind Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple, Union
+
+from repro.cypher import ast
+
+__all__ = ["QueryMetrics", "analyze", "clause_histogram", "clause_types_in"]
+
+AnyQuery = Union[ast.Query, ast.UnionQuery]
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """The four complexity metrics of Table 5."""
+
+    patterns: int
+    expression_depth: int
+    clauses: int
+    dependencies: int
+
+
+def _flatten(query: AnyQuery) -> List[ast.Query]:
+    if isinstance(query, ast.UnionQuery):
+        return _flatten(query.left) + [query.right]
+    return [query]
+
+
+def _clause_bound_variables(clause: ast.Clause) -> Set[str]:
+    """Variables newly introduced by *clause*."""
+    bound: Set[str] = set()
+    if isinstance(clause, (ast.Match, ast.Create)):
+        for pattern in clause.patterns:
+            bound.update(pattern.variables())
+    elif isinstance(clause, ast.Merge):
+        bound.update(clause.pattern.variables())
+    elif isinstance(clause, ast.Unwind):
+        bound.add(clause.alias)
+    elif isinstance(clause, (ast.With, ast.Return)):
+        for item in clause.items:
+            bound.add(item.output_name())
+    elif isinstance(clause, ast.Call):
+        for name, alias in clause.yield_items:
+            bound.add(alias or name)
+    return bound
+
+
+def _clause_variable_uses(clause: ast.Clause) -> Iterator[str]:
+    """Every variable occurrence *used* (referenced) in *clause*.
+
+    Pattern elements that carry a variable count as uses too — reusing a
+    variable bound earlier inside a later MATCH is precisely the kind of
+    cross-clause dependency the paper counts (e.g. ``n5`` referenced in four
+    clauses in Figure 1).
+    """
+    for expr in ast.walk_expressions(clause):
+        yield from expr.variables()
+    if isinstance(clause, (ast.Match, ast.Create)):
+        for pattern in clause.patterns:
+            yield from pattern.variables()
+    elif isinstance(clause, ast.Merge):
+        yield from clause.pattern.variables()
+
+
+def analyze(query: AnyQuery) -> QueryMetrics:
+    """Compute the Table 5 metrics for one query."""
+    patterns = 0
+    depth = 0
+    clause_count = 0
+    dependencies = 0
+
+    for sub in _flatten(query):
+        seen: Set[str] = set()
+        for clause in sub.clauses:
+            clause_count += 1
+            if isinstance(clause, ast.Match):
+                patterns += len(clause.patterns)
+            elif isinstance(clause, (ast.Create,)):
+                patterns += len(clause.patterns)
+            elif isinstance(clause, ast.Merge):
+                patterns += 1
+            for expr in ast.walk_expressions(clause):
+                depth = max(depth, expr.depth())
+            # Cross-clause references: uses of variables bound by an
+            # *earlier* clause.
+            for name in _clause_variable_uses(clause):
+                if name in seen:
+                    dependencies += 1
+            seen.update(_clause_bound_variables(clause))
+    return QueryMetrics(patterns, depth, clause_count, dependencies)
+
+
+def clause_types_in(query: AnyQuery) -> List[str]:
+    """All clause/subclause type names occurring in *query* (with repeats).
+
+    Subclauses (WHERE, ORDER BY, SKIP, LIMIT, DISTINCT) are reported
+    individually, matching the paper's Figure 11 accounting where WHERE
+    "appears more than 100 times as it serves as the filtering subclause for
+    both MATCH and WITH".
+    """
+    names: List[str] = []
+    for sub in _flatten(query):
+        for clause in sub.clauses:
+            if isinstance(clause, ast.Match):
+                names.append("OPTIONAL MATCH" if clause.optional else "MATCH")
+                if clause.where is not None:
+                    names.append("WHERE")
+            elif isinstance(clause, ast.Unwind):
+                names.append("UNWIND")
+            elif isinstance(clause, ast.With):
+                names.append("WITH")
+                if clause.distinct:
+                    names.append("DISTINCT")
+                if clause.order_by:
+                    names.append("ORDER BY")
+                if clause.skip is not None:
+                    names.append("SKIP")
+                if clause.limit is not None:
+                    names.append("LIMIT")
+                if clause.where is not None:
+                    names.append("WHERE")
+            elif isinstance(clause, ast.Return):
+                names.append("RETURN")
+                if clause.distinct:
+                    names.append("DISTINCT")
+                if clause.order_by:
+                    names.append("ORDER BY")
+                if clause.skip is not None:
+                    names.append("SKIP")
+                if clause.limit is not None:
+                    names.append("LIMIT")
+            elif isinstance(clause, ast.Call):
+                names.append("CALL")
+            elif isinstance(clause, ast.Create):
+                names.append("CREATE")
+            elif isinstance(clause, ast.SetClause):
+                names.append("SET")
+            elif isinstance(clause, ast.Delete):
+                names.append("DETACH DELETE" if clause.detach else "DELETE")
+            elif isinstance(clause, ast.Remove):
+                names.append("REMOVE")
+            elif isinstance(clause, ast.Merge):
+                names.append("MERGE")
+    if isinstance(query, ast.UnionQuery):
+        names.append("UNION")
+    return names
+
+
+def clause_histogram(queries) -> Dict[str, int]:
+    """Aggregate clause counts over many queries (Figure 11)."""
+    counter: Counter = Counter()
+    for query in queries:
+        counter.update(clause_types_in(query))
+    return dict(counter)
+
+
+def functions_in(query: AnyQuery) -> List[str]:
+    """All function names used in *query* (for the §5.3 function analysis)."""
+    names: List[str] = []
+
+    def visit(expr: ast.Expression) -> None:
+        if isinstance(expr, ast.FunctionCall):
+            names.append(expr.name.lower())
+        for child in expr.children():
+            visit(child)
+
+    for sub in _flatten(query):
+        for clause in sub.clauses:
+            for expr in ast.walk_expressions(clause):
+                visit(expr)
+    return names

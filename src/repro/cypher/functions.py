@@ -1,0 +1,590 @@
+"""Cypher function library.
+
+The paper's implementation supports "an extensive library of 61 functions, as
+well as aggregation operators" (§4) — the subset commonly supported by the
+four tested GDBs.  This module provides exactly that: 61 scalar/string/
+numeric/list/graph functions with openCypher semantics, plus the aggregation
+functions handled by the executor.
+
+Each function is registered as a :class:`FunctionDef` carrying its signature
+metadata.  The signature metadata doubles as the template catalog for the
+expression synthesizer (§3.5): a template like ``left(par1, par2)`` is simply
+a function whose parameter types are known.
+
+Null handling follows openCypher: unless a function opts out (``coalesce``,
+the ``...OrNull`` conversions), any ``null`` argument yields ``null``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.model import Node, Path, Relationship
+from repro.graph import values as V
+
+__all__ = [
+    "FunctionDef",
+    "FunctionError",
+    "FUNCTIONS",
+    "AGGREGATES",
+    "lookup",
+    "is_aggregate",
+    "call_function",
+]
+
+
+class FunctionError(V.CypherTypeError):
+    """Raised when a function receives invalid arguments."""
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """A registered Cypher function.
+
+    ``arg_types`` lists the declared type of each parameter (using "NUMBER"
+    for int-or-float and "ANY" for unconstrained); trailing parameters beyond
+    ``min_args`` are optional.  ``propagates_null`` controls the default
+    null-in/null-out behaviour.
+    """
+
+    name: str
+    arg_types: Tuple[str, ...]
+    return_type: str
+    impl: Callable[..., Any]
+    min_args: Optional[int] = None
+    propagates_null: bool = True
+    variadic: bool = False
+
+    @property
+    def arity_min(self) -> int:
+        return self.min_args if self.min_args is not None else len(self.arg_types)
+
+    @property
+    def arity_max(self) -> Optional[int]:
+        return None if self.variadic else len(self.arg_types)
+
+
+def _want_number(value: Any, fn: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FunctionError(f"{fn}() expects a number, got {V.type_name(value)}")
+    return value
+
+
+def _want_int(value: Any, fn: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise FunctionError(f"{fn}() expects an integer, got {V.type_name(value)}")
+    return value
+
+
+def _want_str(value: Any, fn: str) -> str:
+    if not isinstance(value, str):
+        raise FunctionError(f"{fn}() expects a string, got {V.type_name(value)}")
+    return value
+
+
+def _want_list(value: Any, fn: str) -> list:
+    if not isinstance(value, list):
+        raise FunctionError(f"{fn}() expects a list, got {V.type_name(value)}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Implementations
+# ---------------------------------------------------------------------------
+
+def _abs(x):
+    return abs(_want_number(x, "abs"))
+
+
+def _ceil(x):
+    num = _want_number(x, "ceil")
+    if isinstance(num, float) and not math.isfinite(num):
+        return num  # ceil(±inf) = ±inf, ceil(NaN) = NaN
+    return float(math.ceil(num))
+
+
+def _floor(x):
+    num = _want_number(x, "floor")
+    if isinstance(num, float) and not math.isfinite(num):
+        return num
+    return float(math.floor(num))
+
+
+def _round(x):
+    # Cypher round() rounds half away from zero, returning a float.
+    num = _want_number(x, "round")
+    if isinstance(num, float) and not math.isfinite(num):
+        return num
+    return float(math.floor(num + 0.5)) if num >= 0 else float(math.ceil(num - 0.5))
+
+
+def _sign(x):
+    num = _want_number(x, "sign")
+    return (num > 0) - (num < 0)
+
+
+def _sqrt(x):
+    num = _want_number(x, "sqrt")
+    if num < 0:
+        return float("nan")
+    return math.sqrt(num)
+
+
+def _exp(x):
+    try:
+        return math.exp(_want_number(x, "exp"))
+    except OverflowError:
+        return float("inf")
+
+
+def _log(x):
+    num = _want_number(x, "log")
+    if num <= 0:
+        return float("nan")
+    return math.log(num)
+
+
+def _log10(x):
+    num = _want_number(x, "log10")
+    if num <= 0:
+        return float("nan")
+    return math.log10(num)
+
+
+def _atan2(y, x):
+    return math.atan2(_want_number(y, "atan2"), _want_number(x, "atan2"))
+
+
+def _clamped_trig(fn_name, fn):
+    def impl(x):
+        num = _want_number(x, fn_name)
+        if fn_name in ("asin", "acos") and not -1.0 <= num <= 1.0:
+            return float("nan")
+        return fn(num)
+
+    return impl
+
+
+def _cot(x):
+    num = _want_number(x, "cot")
+    tangent = math.tan(num)
+    if tangent == 0:
+        return float("inf")
+    return 1.0 / tangent
+
+
+def _left(s, n):
+    text = _want_str(s, "left")
+    count = _want_int(n, "left")
+    if count < 0:
+        raise FunctionError("left() expects a non-negative length")
+    return text[:count]
+
+
+def _right(s, n):
+    text = _want_str(s, "right")
+    count = _want_int(n, "right")
+    if count < 0:
+        raise FunctionError("right() expects a non-negative length")
+    return text[len(text) - min(count, len(text)):]
+
+
+def _replace(original, search, replacement):
+    text = _want_str(original, "replace")
+    needle = _want_str(search, "replace")
+    repl = _want_str(replacement, "replace")
+    if needle == "":
+        # Underspecified in openCypher; the reference behaviour we adopt (and
+        # the one the paper's expected result uses in Figure 9) is to return
+        # the original string unchanged.  MemgraphSim's fault catalog models
+        # the real engine hanging here.
+        return text
+    return text.replace(needle, repl)
+
+
+def _substring(s, start, length=None):
+    text = _want_str(s, "substring")
+    begin = _want_int(start, "substring")
+    if begin < 0:
+        raise FunctionError("substring() expects a non-negative start")
+    if length is None:
+        return text[begin:]
+    count = _want_int(length, "substring")
+    if count < 0:
+        raise FunctionError("substring() expects a non-negative length")
+    return text[begin:begin + count]
+
+
+def _split(s, delim):
+    text = _want_str(s, "split")
+    sep = _want_str(delim, "split")
+    if sep == "":
+        return list(text)
+    return text.split(sep)
+
+
+def _reverse(value):
+    if isinstance(value, str):
+        return value[::-1]
+    if isinstance(value, list):
+        return list(reversed(value))
+    raise FunctionError(
+        f"reverse() expects a string or list, got {V.type_name(value)}"
+    )
+
+
+def _size(value):
+    if isinstance(value, (str, list)):
+        return len(value)
+    raise FunctionError(f"size() expects a string or list, got {V.type_name(value)}")
+
+
+def _char_length(value):
+    return len(_want_str(value, "char_length"))
+
+
+def _to_string(value):
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    raise FunctionError(f"toString() cannot convert {V.type_name(value)}")
+
+
+def _to_integer(value):
+    if isinstance(value, bool):
+        raise FunctionError("toInteger() cannot convert BOOLEAN")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise FunctionError("toInteger() cannot convert a non-finite float")
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(value.strip())
+        except ValueError:
+            try:
+                return int(float(value.strip()))
+            except ValueError:
+                return None
+    raise FunctionError(f"toInteger() cannot convert {V.type_name(value)}")
+
+
+def _to_float(value):
+    if isinstance(value, bool):
+        raise FunctionError("toFloat() cannot convert BOOLEAN")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    raise FunctionError(f"toFloat() cannot convert {V.type_name(value)}")
+
+
+def _to_boolean(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        return None
+    raise FunctionError(f"toBoolean() cannot convert {V.type_name(value)}")
+
+
+def _or_null(converter):
+    def impl(value):
+        try:
+            return converter(value)
+        except FunctionError:
+            return None
+
+    return impl
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _head(value):
+    items = _want_list(value, "head")
+    return items[0] if items else None
+
+
+def _last(value):
+    items = _want_list(value, "last")
+    return items[-1] if items else None
+
+
+def _tail(value):
+    items = _want_list(value, "tail")
+    return items[1:]
+
+
+def _range(start, end, step=None):
+    begin = _want_int(start, "range")
+    stop = _want_int(end, "range")
+    stride = 1 if step is None else _want_int(step, "range")
+    if stride == 0:
+        raise FunctionError("range() step must not be zero")
+    if stride > 0:
+        return list(range(begin, stop + 1, stride))
+    return list(range(begin, stop - 1, stride))
+
+
+def _keys(value):
+    if isinstance(value, (Node, Relationship)):
+        return sorted(value.properties.keys())
+    if isinstance(value, dict):
+        return sorted(value.keys())
+    raise FunctionError(f"keys() expects a map or element, got {V.type_name(value)}")
+
+
+def _labels(value):
+    if isinstance(value, Node):
+        return sorted(value.labels)
+    raise FunctionError(f"labels() expects a node, got {V.type_name(value)}")
+
+
+def _type(value):
+    if isinstance(value, Relationship):
+        return value.type
+    raise FunctionError(f"type() expects a relationship, got {V.type_name(value)}")
+
+
+def _id(value):
+    if isinstance(value, (Node, Relationship)):
+        return value.id
+    raise FunctionError(f"id() expects an element, got {V.type_name(value)}")
+
+
+def _properties(value):
+    if isinstance(value, (Node, Relationship)):
+        return dict(value.properties)
+    if isinstance(value, dict):
+        return dict(value)
+    raise FunctionError(
+        f"properties() expects a map or element, got {V.type_name(value)}"
+    )
+
+
+def _start_node(value):
+    if not isinstance(value, Relationship):
+        raise FunctionError(
+            f"startNode() expects a relationship, got {V.type_name(value)}"
+        )
+    return ("__node_ref__", value.start)
+
+
+def _end_node(value):
+    if not isinstance(value, Relationship):
+        raise FunctionError(
+            f"endNode() expects a relationship, got {V.type_name(value)}"
+        )
+    return ("__node_ref__", value.end)
+
+
+def _length(value):
+    if isinstance(value, Path):
+        return len(value)
+    if isinstance(value, (str, list)):
+        # Legacy Cypher allowed length() on strings and lists.
+        return len(value)
+    raise FunctionError(f"length() expects a path, got {V.type_name(value)}")
+
+
+def _nodes(value):
+    if isinstance(value, Path):
+        return list(value.nodes)
+    raise FunctionError(f"nodes() expects a path, got {V.type_name(value)}")
+
+
+def _relationships(value):
+    if isinstance(value, Path):
+        return list(value.relationships)
+    raise FunctionError(
+        f"relationships() expects a path, got {V.type_name(value)}"
+    )
+
+
+def _is_empty(value):
+    if isinstance(value, (str, list, dict)):
+        return len(value) == 0
+    raise FunctionError(
+        f"isEmpty() expects a string, list, or map, got {V.type_name(value)}"
+    )
+
+
+def _is_nan(value):
+    num = _want_number(value, "isNaN")
+    return isinstance(num, float) and math.isnan(num)
+
+
+def _value_type(value):
+    return V.type_name(value)
+
+
+def _to_lower(value):
+    return _want_str(value, "toLower").lower()
+
+
+def _to_upper(value):
+    return _want_str(value, "toUpper").upper()
+
+
+def _trim(value):
+    return _want_str(value, "trim").strip()
+
+
+def _ltrim(value):
+    return _want_str(value, "ltrim").lstrip()
+
+
+def _rtrim(value):
+    return _want_str(value, "rtrim").rstrip()
+
+
+def _exists(value):
+    # exists(n.prop) — the evaluator passes the evaluated property value and
+    # this reports whether it was present.  Null-safe by definition.
+    return value is not None
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def _defs() -> List[FunctionDef]:
+    F = FunctionDef
+    defs = [
+        # --- numeric (22)
+        F("abs", ("NUMBER",), "NUMBER", _abs),
+        F("ceil", ("NUMBER",), "FLOAT", _ceil),
+        F("floor", ("NUMBER",), "FLOAT", _floor),
+        F("round", ("NUMBER",), "FLOAT", _round),
+        F("sign", ("NUMBER",), "INTEGER", _sign),
+        F("sqrt", ("NUMBER",), "FLOAT", _sqrt),
+        F("exp", ("NUMBER",), "FLOAT", _exp),
+        F("log", ("NUMBER",), "FLOAT", _log),
+        F("log10", ("NUMBER",), "FLOAT", _log10),
+        F("sin", ("NUMBER",), "FLOAT", _clamped_trig("sin", math.sin)),
+        F("cos", ("NUMBER",), "FLOAT", _clamped_trig("cos", math.cos)),
+        F("tan", ("NUMBER",), "FLOAT", _clamped_trig("tan", math.tan)),
+        F("asin", ("NUMBER",), "FLOAT", _clamped_trig("asin", math.asin)),
+        F("acos", ("NUMBER",), "FLOAT", _clamped_trig("acos", math.acos)),
+        F("atan", ("NUMBER",), "FLOAT", _clamped_trig("atan", math.atan)),
+        F("atan2", ("NUMBER", "NUMBER"), "FLOAT", _atan2),
+        F("cot", ("NUMBER",), "FLOAT", _cot),
+        F("degrees", ("NUMBER",), "FLOAT",
+          lambda x: math.degrees(_want_number(x, "degrees"))),
+        F("radians", ("NUMBER",), "FLOAT",
+          lambda x: math.radians(_want_number(x, "radians"))),
+        F("pi", (), "FLOAT", lambda: math.pi),
+        F("e", (), "FLOAT", lambda: math.e),
+        F("isNaN", ("NUMBER",), "BOOLEAN", _is_nan),
+        # --- string (14)
+        F("left", ("STRING", "INTEGER"), "STRING", _left),
+        F("right", ("STRING", "INTEGER"), "STRING", _right),
+        F("ltrim", ("STRING",), "STRING", _ltrim),
+        F("rtrim", ("STRING",), "STRING", _rtrim),
+        F("trim", ("STRING",), "STRING", _trim),
+        F("replace", ("STRING", "STRING", "STRING"), "STRING", _replace),
+        F("split", ("STRING", "STRING"), "LIST", _split),
+        F("substring", ("STRING", "INTEGER", "INTEGER"), "STRING",
+          _substring, min_args=2),
+        F("toLower", ("STRING",), "STRING", _to_lower),
+        F("toUpper", ("STRING",), "STRING", _to_upper),
+        F("toString", ("ANY",), "STRING", _to_string),
+        F("toStringOrNull", ("ANY",), "STRING", _or_null(_to_string)),
+        F("char_length", ("STRING",), "INTEGER", _char_length),
+        F("reverse", ("ANY",), "ANY", _reverse),
+        # --- conversions (6)
+        F("toInteger", ("ANY",), "INTEGER", _to_integer),
+        F("toIntegerOrNull", ("ANY",), "INTEGER", _or_null(_to_integer)),
+        F("toFloat", ("ANY",), "FLOAT", _to_float),
+        F("toFloatOrNull", ("ANY",), "FLOAT", _or_null(_to_float)),
+        F("toBoolean", ("ANY",), "BOOLEAN", _to_boolean),
+        F("toBooleanOrNull", ("ANY",), "BOOLEAN", _or_null(_to_boolean)),
+        # --- list (7)
+        F("head", ("LIST",), "ANY", _head),
+        F("last", ("LIST",), "ANY", _last),
+        F("tail", ("LIST",), "LIST", _tail),
+        F("range", ("INTEGER", "INTEGER", "INTEGER"), "LIST", _range, min_args=2),
+        F("size", ("ANY",), "INTEGER", _size),
+        F("keys", ("ANY",), "LIST", _keys),
+        F("labels", ("NODE",), "LIST", _labels),
+        # --- graph / scalar (12)
+        F("id", ("ANY",), "INTEGER", _id),
+        F("type", ("RELATIONSHIP",), "STRING", _type),
+        F("startNode", ("RELATIONSHIP",), "NODE", _start_node),
+        F("endNode", ("RELATIONSHIP",), "NODE", _end_node),
+        F("properties", ("ANY",), "MAP", _properties),
+        F("length", ("ANY",), "INTEGER", _length),
+        F("nodes", ("PATH",), "LIST", _nodes),
+        F("relationships", ("PATH",), "LIST", _relationships),
+        F("coalesce", ("ANY",), "ANY", _coalesce,
+          min_args=1, propagates_null=False, variadic=True),
+        F("exists", ("ANY",), "BOOLEAN", _exists, propagates_null=False),
+        F("isEmpty", ("ANY",), "BOOLEAN", _is_empty),
+        F("valueType", ("ANY",), "STRING", _value_type, propagates_null=False),
+    ]
+    return defs
+
+
+FUNCTIONS: Dict[str, FunctionDef] = {fdef.name.lower(): fdef for fdef in _defs()}
+
+# Aggregation functions are executed by the grouping machinery in the
+# executor rather than through call_function.
+AGGREGATES = frozenset(
+    ["count", "sum", "avg", "min", "max", "collect", "stdev", "stdevp"]
+)
+
+assert len(FUNCTIONS) == 61, f"expected 61 functions, have {len(FUNCTIONS)}"
+
+
+def lookup(name: str) -> Optional[FunctionDef]:
+    """Case-insensitive function lookup."""
+    return FUNCTIONS.get(name.lower())
+
+
+def is_aggregate(name: str) -> bool:
+    """Whether *name* is an aggregation function."""
+    return name.lower() in AGGREGATES
+
+
+def call_function(name: str, args: Sequence[Any]) -> Any:
+    """Invoke a registered function with already-evaluated arguments.
+
+    Handles arity checking and default null propagation.  The special
+    ``("__node_ref__", id)`` return convention of startNode/endNode is
+    resolved by the evaluator, which has access to the graph.
+    """
+    fdef = lookup(name)
+    if fdef is None:
+        raise FunctionError(f"unknown function {name}()")
+    n_args = len(args)
+    if n_args < fdef.arity_min or (
+        fdef.arity_max is not None and n_args > fdef.arity_max
+    ):
+        raise FunctionError(
+            f"{fdef.name}() called with {n_args} argument(s); expected "
+            f"{fdef.arity_min}"
+            + (f"..{fdef.arity_max}" if fdef.arity_max != fdef.arity_min else "")
+        )
+    if fdef.propagates_null and any(arg is None for arg in args):
+        return None
+    return fdef.impl(*args)

@@ -1,0 +1,275 @@
+"""Cypher-to-Gremlin translation (paper §7, "Beyond Cypher").
+
+The paper tests JanusGraph by translating GQS's synthesized Cypher queries
+with the *Cypher for Gremlin* compiler, and reports that the compiler
+mistranslates ``UNWIND`` and aggregation functions — so those features were
+disabled during that experiment.  This module reproduces that setup: a
+translator from the supported Cypher subset to Gremlin traversal text, which
+raises :class:`UnsupportedForGremlin` for exactly the constructs the paper
+had to disable (UNWIND, aggregations, UNION, CALL).
+
+The output follows the classic TinkerPop style::
+
+    MATCH (a:USER)-[r:LIKE]->(b) WHERE a.age > 3 RETURN b.name AS name
+
+    g.V().hasLabel('USER').as('a').outE('LIKE').as('r').inV().as('b')
+     .where(...).select('b').by('name')
+
+The translation targets structural fidelity (pattern shape, filters,
+projections, ordering, paging), not a bug-for-bug emulation of the
+cypher-for-gremlin compiler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.cypher import ast
+from repro.cypher.functions import is_aggregate
+from repro.engine.evaluator import has_aggregate
+
+__all__ = ["UnsupportedForGremlin", "translate_query", "translate_expression"]
+
+AnyQuery = Union[ast.Query, ast.UnionQuery]
+
+
+class UnsupportedForGremlin(Exception):
+    """Raised for Cypher constructs the §7 experiment had to disable."""
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return "'" + value.replace("\\", "\\\\").replace("'", "\\'") + "'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_literal(item) for item in value) + "]"
+    raise UnsupportedForGremlin(f"cannot express literal {value!r}")
+
+
+_COMPARATORS = {
+    "=": "eq",
+    "<>": "neq",
+    "<": "lt",
+    "<=": "lte",
+    ">": "gt",
+    ">=": "gte",
+}
+
+_TEXT_PREDICATES = {
+    "STARTS WITH": "startingWith",
+    "ENDS WITH": "endingWith",
+    "CONTAINS": "containing",
+}
+
+
+def translate_expression(expr: ast.Expression) -> str:
+    """Translate an expression into Gremlin's closure-style syntax."""
+    if isinstance(expr, ast.Literal):
+        return _literal(expr.value)
+    if isinstance(expr, ast.Variable):
+        return f"select('{expr.name}')"
+    if isinstance(expr, ast.PropertyAccess):
+        if isinstance(expr.subject, ast.Variable):
+            return f"select('{expr.subject.name}').values('{expr.key}')"
+        return f"{translate_expression(expr.subject)}.values('{expr.key}')"
+    if isinstance(expr, ast.Binary):
+        if expr.op in _COMPARATORS:
+            return (
+                f"{translate_expression(expr.left)}.is(P."
+                f"{_COMPARATORS[expr.op]}({translate_expression(expr.right)}))"
+            )
+        if expr.op in _TEXT_PREDICATES:
+            return (
+                f"{translate_expression(expr.left)}.is(TextP."
+                f"{_TEXT_PREDICATES[expr.op]}({translate_expression(expr.right)}))"
+            )
+        if expr.op == "AND":
+            return (
+                f"and({translate_expression(expr.left)}, "
+                f"{translate_expression(expr.right)})"
+            )
+        if expr.op == "OR":
+            return (
+                f"or({translate_expression(expr.left)}, "
+                f"{translate_expression(expr.right)})"
+            )
+        if expr.op in ("+", "-", "*", "/", "%"):
+            op_name = {"+": "sum", "-": "minus", "*": "mult",
+                       "/": "div", "%": "mod"}[expr.op]
+            return (
+                f"math('{op_name}', {translate_expression(expr.left)}, "
+                f"{translate_expression(expr.right)})"
+            )
+        if expr.op == "IN":
+            return (
+                f"{translate_expression(expr.left)}.is(P.within("
+                f"{translate_expression(expr.right)}))"
+            )
+        raise UnsupportedForGremlin(f"operator {expr.op!r}")
+    if isinstance(expr, ast.Unary):
+        if expr.op == "NOT":
+            return f"not({translate_expression(expr.operand)})"
+        if expr.op == "-":
+            return f"math('neg', {translate_expression(expr.operand)})"
+        raise UnsupportedForGremlin(f"unary operator {expr.op!r}")
+    if isinstance(expr, ast.IsNull):
+        inner = translate_expression(expr.operand)
+        return f"{inner}.hasNext()" if expr.negated else f"not({inner}.hasNext())"
+    if isinstance(expr, ast.FunctionCall):
+        if is_aggregate(expr.name):
+            raise UnsupportedForGremlin(
+                f"aggregation function {expr.name}() (disabled in the §7 setup)"
+            )
+        args = ", ".join(translate_expression(arg) for arg in expr.args)
+        return f"cfog.{expr.name}({args})"
+    if isinstance(expr, ast.CountStar):
+        raise UnsupportedForGremlin("count(*) (disabled in the §7 setup)")
+    if isinstance(expr, ast.ListLiteral):
+        return "[" + ", ".join(translate_expression(i) for i in expr.items) + "]"
+    if isinstance(expr, ast.ListIndex):
+        return (
+            f"cfog.index({translate_expression(expr.subject)}, "
+            f"{translate_expression(expr.index)})"
+        )
+    if isinstance(expr, ast.ListComprehension):
+        raise UnsupportedForGremlin("list comprehension")
+    if isinstance(expr, ast.PatternPredicate):
+        raise UnsupportedForGremlin("pattern predicate")
+    if isinstance(expr, ast.CaseExpression):
+        return _translate_case(expr)
+    if isinstance(expr, ast.LabelsPredicate):
+        subject = translate_expression(expr.subject)
+        labels = ", ".join(f"'{label}'" for label in expr.labels)
+        return f"{subject}.hasLabel({labels})"
+    raise UnsupportedForGremlin(f"expression {type(expr).__name__}")
+
+
+def _translate_case(expr: ast.CaseExpression) -> str:
+    parts: List[str] = []
+    for alternative in expr.alternatives:
+        parts.append(
+            f"choose({translate_expression(alternative.when)}, "
+            f"{translate_expression(alternative.then)}"
+        )
+    tail = (
+        translate_expression(expr.default)
+        if expr.default is not None
+        else "constant(null)"
+    )
+    out = tail
+    for part in reversed(parts):
+        out = f"{part}, {out})"
+    return out
+
+
+def _translate_node(node: ast.NodePattern, first: bool) -> str:
+    step = "g.V()" if first else ""
+    if node.labels:
+        labels = ", ".join(f"'{label}'" for label in node.labels)
+        step += f".hasLabel({labels})" if step else f"hasLabel({labels})"
+    if node.properties is not None:
+        for key, value in node.properties.items:
+            step += f".has('{key}', {translate_expression(value)})"
+    if node.variable:
+        step += f".as('{node.variable}')"
+    return step or "identity()"
+
+
+def _translate_rel(rel: ast.RelationshipPattern) -> str:
+    if rel.direction == ast.OUT:
+        edge, vertex = "outE", "inV"
+    elif rel.direction == ast.IN:
+        edge, vertex = "inE", "outV"
+    else:
+        edge, vertex = "bothE", "otherV"
+    types = ", ".join(f"'{t}'" for t in rel.types)
+    step = f".{edge}({types})"
+    if rel.properties is not None:
+        for key, value in rel.properties.items:
+            step += f".has('{key}', {translate_expression(value)})"
+    if rel.variable:
+        step += f".as('{rel.variable}')"
+    step += f".{vertex}()"
+    return step
+
+
+def _translate_pattern(pattern: ast.PathPattern, first: bool) -> str:
+    out = _translate_node(pattern.nodes[0], first)
+    for index, rel in enumerate(pattern.relationships):
+        out += _translate_rel(rel)
+        nxt = _translate_node(pattern.nodes[index + 1], first=False)
+        if nxt != "identity()":
+            out += "." + nxt
+    return out
+
+
+def translate_query(query: AnyQuery) -> str:
+    """Translate a query; raises :class:`UnsupportedForGremlin` when the
+    query uses a construct the §7 experiment disabled."""
+    if isinstance(query, ast.UnionQuery):
+        raise UnsupportedForGremlin("UNION (disabled in the §7 setup)")
+
+    steps: List[str] = []
+    first_match = True
+    for clause in query.clauses:
+        if isinstance(clause, ast.Match):
+            if clause.optional:
+                raise UnsupportedForGremlin("OPTIONAL MATCH")
+            for index, pattern in enumerate(clause.patterns):
+                part = _translate_pattern(pattern, first_match and index == 0)
+                if first_match and index == 0:
+                    steps.append(part)
+                else:
+                    steps.append(f".match(__.{part})")
+            first_match = False
+            if clause.where is not None:
+                steps.append(f".where({translate_expression(clause.where)})")
+        elif isinstance(clause, ast.Unwind):
+            raise UnsupportedForGremlin("UNWIND (disabled in the §7 setup)")
+        elif isinstance(clause, ast.Call):
+            raise UnsupportedForGremlin("CALL (no Gremlin counterpart)")
+        elif isinstance(clause, (ast.With, ast.Return)):
+            if any(has_aggregate(item.expression) for item in clause.items):
+                raise UnsupportedForGremlin(
+                    "aggregation (disabled in the §7 setup)"
+                )
+            projections = []
+            for item in clause.items:
+                name = item.output_name()
+                projections.append(
+                    f".by({translate_expression(item.expression)}).as('{name}')"
+                    if not isinstance(item.expression, ast.Variable)
+                    else f".by(select('{item.expression.name}')).as('{name}')"
+                )
+            names = ", ".join(f"'{item.output_name()}'" for item in clause.items)
+            steps.append(f".project({names})" + "".join(
+                f".by({translate_expression(item.expression)})"
+                for item in clause.items
+            ))
+            if clause.distinct:
+                steps.append(".dedup()")
+            for order in clause.order_by:
+                direction = "desc" if order.descending else "asc"
+                steps.append(
+                    f".order().by({translate_expression(order.expression)}, "
+                    f"{direction})"
+                )
+            if clause.skip is not None and isinstance(clause.skip, ast.Literal):
+                steps.append(f".skip({clause.skip.value})")
+            if clause.limit is not None and isinstance(clause.limit, ast.Literal):
+                steps.append(f".limit({clause.limit.value})")
+            if isinstance(clause, ast.With) and clause.where is not None:
+                steps.append(f".where({translate_expression(clause.where)})")
+        else:
+            raise UnsupportedForGremlin(
+                f"clause {type(clause).__name__} (write clauses are not part "
+                f"of the retrieval translation)"
+            )
+    if not steps:
+        raise UnsupportedForGremlin("empty query")
+    return "".join(steps)

@@ -1,0 +1,160 @@
+"""Tokenizer for the Cypher subset.
+
+Produces a flat token stream for :mod:`repro.cypher.parser`.  Keywords are
+case-insensitive (normalized to upper case); identifiers keep their spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+
+class LexError(Exception):
+    """Raised on malformed input text."""
+
+
+KEYWORDS = frozenset(
+    [
+        "MATCH", "OPTIONAL", "UNWIND", "WITH", "RETURN", "WHERE", "ORDER",
+        "BY", "SKIP", "LIMIT", "AS", "DISTINCT", "UNION", "ALL", "CALL",
+        "YIELD", "CREATE", "SET", "DELETE", "DETACH", "REMOVE", "MERGE",
+        "AND", "OR", "XOR", "NOT", "IN", "STARTS", "ENDS", "CONTAINS",
+        "IS", "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE",
+        "END", "DESC", "DESCENDING", "ASC", "ASCENDING", "ON",
+    ]
+)
+
+# Multi-character punctuation, longest first so the scanner is greedy.
+_PUNCT = [
+    "<=", ">=", "<>", "->", "<-", "..", "=~",
+    "(", ")", "[", "]", "{", "}", ",", ":", ";", ".", "-", "<", ">",
+    "=", "+", "*", "/", "%", "^", "|",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is one of ident/keyword/int/float/string/punct/eof."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_punct(self, *values: str) -> bool:
+        return self.kind == "punct" and self.value in values
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*, raising :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+
+    while index < length:
+        char = text[index]
+
+        if char.isspace():
+            index += 1
+            continue
+
+        # Line comments.
+        if text.startswith("//", index):
+            newline = text.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+
+        # String literal.
+        if char in ("'", '"'):
+            quote = char
+            out: List[str] = []
+            cursor = index + 1
+            while cursor < length:
+                current = text[cursor]
+                if current == "\\":
+                    if cursor + 1 >= length:
+                        raise LexError(f"dangling escape at {cursor}")
+                    escape = text[cursor + 1]
+                    mapping = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
+                    out.append(mapping.get(escape, escape))
+                    cursor += 2
+                    continue
+                if current == quote:
+                    break
+                out.append(current)
+                cursor += 1
+            else:
+                raise LexError(f"unterminated string starting at {index}")
+            tokens.append(Token("string", "".join(out), index))
+            index = cursor + 1
+            continue
+
+        # Number literal (integer or float; sign handled by the parser).
+        if char.isdigit():
+            cursor = index
+            while cursor < length and text[cursor].isdigit():
+                cursor += 1
+            is_float = False
+            if (
+                cursor < length
+                and text[cursor] == "."
+                and cursor + 1 < length
+                and text[cursor + 1].isdigit()
+            ):
+                is_float = True
+                cursor += 1
+                while cursor < length and text[cursor].isdigit():
+                    cursor += 1
+            if cursor < length and text[cursor] in ("e", "E"):
+                peek = cursor + 1
+                if peek < length and text[peek] in ("+", "-"):
+                    peek += 1
+                if peek < length and text[peek].isdigit():
+                    is_float = True
+                    cursor = peek
+                    while cursor < length and text[cursor].isdigit():
+                        cursor += 1
+            kind = "float" if is_float else "int"
+            tokens.append(Token(kind, text[index:cursor], index))
+            index = cursor
+            continue
+
+        # Identifier or keyword.
+        if char.isalpha() or char == "_":
+            cursor = index
+            while cursor < length and (text[cursor].isalnum() or text[cursor] == "_"):
+                cursor += 1
+            word = text[index:cursor]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, index))
+            else:
+                tokens.append(Token("ident", word, index))
+            index = cursor
+            continue
+
+        # Backtick-quoted identifier.
+        if char == "`":
+            closing = text.find("`", index + 1)
+            if closing == -1:
+                raise LexError(f"unterminated backtick identifier at {index}")
+            tokens.append(Token("ident", text[index + 1:closing], index))
+            index = closing + 1
+            continue
+
+        # Punctuation.
+        for punct in _PUNCT:
+            if text.startswith(punct, index):
+                tokens.append(Token("punct", punct, index))
+                index += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r} at {index}")
+
+    tokens.append(Token("eof", "", length))
+    return tokens

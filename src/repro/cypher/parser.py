@@ -1,0 +1,605 @@
+"""Recursive-descent parser for the Cypher subset.
+
+Parses the language the printer emits (and ordinary hand-written Cypher over
+the same feature set) back into :mod:`repro.cypher.ast` trees.  The paper's
+evaluation (§5.4.2) parses 10 000 queries per tool into ASTs to measure
+complexity; this parser plays the role of the libcypher-parser used there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.cypher import ast
+from repro.cypher.lexer import LexError, Token, tokenize
+
+__all__ = ["ParseError", "parse_query", "parse_expression"]
+
+
+class ParseError(Exception):
+    """Raised when the token stream does not form a valid query."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.current.is_punct(value):
+            raise ParseError(
+                f"expected {value!r} at {self.current.position}, "
+                f"got {self.current.value!r}"
+            )
+        return self.advance()
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise ParseError(
+                f"expected {'/'.join(names)} at {self.current.position}, "
+                f"got {self.current.value!r}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.kind == "ident":
+            self.advance()
+            return token.value
+        # Allow soft keywords as identifiers in name positions.
+        if token.kind == "keyword" and token.value in ("ALL", "END", "ON"):
+            self.advance()
+            return token.value.lower()
+        raise ParseError(
+            f"expected identifier at {token.position}, got {token.value!r}"
+        )
+
+    def accept_punct(self, value: str) -> bool:
+        if self.current.is_punct(value):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    # -- queries -----------------------------------------------------------
+
+    def parse_query(self) -> Union[ast.Query, ast.UnionQuery]:
+        query: Union[ast.Query, ast.UnionQuery] = self._single_query()
+        while self.accept_keyword("UNION"):
+            union_all = self.accept_keyword("ALL")
+            right = self._single_query()
+            query = ast.UnionQuery(query, right, all=union_all)
+        if self.current.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input at {self.current.position}: "
+                f"{self.current.value!r}"
+            )
+        return query
+
+    def _single_query(self) -> ast.Query:
+        clauses: List[ast.Clause] = []
+        while True:
+            clause = self._try_clause()
+            if clause is None:
+                break
+            clauses.append(clause)
+        if not clauses:
+            raise ParseError(f"expected a clause at {self.current.position}")
+        return ast.Query(tuple(clauses))
+
+    def _try_clause(self) -> Optional[ast.Clause]:
+        token = self.current
+        if token.is_keyword("OPTIONAL"):
+            self.advance()
+            self.expect_keyword("MATCH")
+            return self._match(optional=True)
+        if token.is_keyword("MATCH"):
+            self.advance()
+            return self._match(optional=False)
+        if token.is_keyword("UNWIND"):
+            self.advance()
+            expr = self.expression()
+            self.expect_keyword("AS")
+            alias = self.expect_ident()
+            return ast.Unwind(expr, alias)
+        if token.is_keyword("WITH"):
+            self.advance()
+            return self._projection_clause(is_with=True)
+        if token.is_keyword("RETURN"):
+            self.advance()
+            return self._projection_clause(is_with=False)
+        if token.is_keyword("CALL"):
+            self.advance()
+            return self._call()
+        if token.is_keyword("CREATE"):
+            self.advance()
+            patterns = [self._path_pattern()]
+            while self.accept_punct(","):
+                patterns.append(self._path_pattern())
+            return ast.Create(tuple(patterns))
+        if token.is_keyword("SET"):
+            self.advance()
+            return self._set_clause()
+        if token.is_keyword("DETACH"):
+            self.advance()
+            self.expect_keyword("DELETE")
+            return self._delete(detach=True)
+        if token.is_keyword("DELETE"):
+            self.advance()
+            return self._delete(detach=False)
+        if token.is_keyword("REMOVE"):
+            self.advance()
+            return self._remove()
+        if token.is_keyword("MERGE"):
+            self.advance()
+            return ast.Merge(self._path_pattern())
+        return None
+
+    def _match(self, optional: bool) -> ast.Match:
+        patterns = [self._path_pattern()]
+        while self.accept_punct(","):
+            patterns.append(self._path_pattern())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Match(tuple(patterns), optional=optional, where=where)
+
+    def _projection_clause(self, is_with: bool) -> ast.Clause:
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self._projection_item()]
+        while self.accept_punct(","):
+            items.append(self._projection_item())
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self.accept_punct(","):
+                order_by.append(self._order_item())
+        skip = self.expression() if self.accept_keyword("SKIP") else None
+        limit = self.expression() if self.accept_keyword("LIMIT") else None
+        if is_with:
+            where = self.expression() if self.accept_keyword("WHERE") else None
+            return ast.With(
+                tuple(items), distinct=distinct, order_by=tuple(order_by),
+                skip=skip, limit=limit, where=where,
+            )
+        return ast.Return(
+            tuple(items), distinct=distinct, order_by=tuple(order_by),
+            skip=skip, limit=limit,
+        )
+
+    def _projection_item(self) -> ast.ProjectionItem:
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return ast.ProjectionItem(expr, alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.accept_keyword("DESC", "DESCENDING"):
+            descending = True
+        else:
+            self.accept_keyword("ASC", "ASCENDING")
+        return ast.OrderItem(expr, descending)
+
+    def _call(self) -> ast.Call:
+        name_parts = [self.expect_ident()]
+        while self.accept_punct("."):
+            name_parts.append(self.expect_ident())
+        procedure = ".".join(name_parts)
+        args: List[ast.Expression] = []
+        self.expect_punct("(")
+        if not self.current.is_punct(")"):
+            args.append(self.expression())
+            while self.accept_punct(","):
+                args.append(self.expression())
+        self.expect_punct(")")
+        yield_items: List[Tuple[str, Optional[str]]] = []
+        if self.accept_keyword("YIELD"):
+            while True:
+                name = self.expect_ident()
+                alias = self.expect_ident() if self.accept_keyword("AS") else None
+                yield_items.append((name, alias))
+                if not self.accept_punct(","):
+                    break
+        return ast.Call(procedure, tuple(args), tuple(yield_items))
+
+    def _set_clause(self) -> ast.SetClause:
+        items: List[ast.SetItem] = []
+        while True:
+            subject = self.expect_ident()
+            self.expect_punct(".")
+            key = self.expect_ident()
+            self.expect_punct("=")
+            value = self.expression()
+            items.append(ast.SetItem(subject, key, value))
+            if not self.accept_punct(","):
+                break
+        return ast.SetClause(tuple(items))
+
+    def _delete(self, detach: bool) -> ast.Delete:
+        exprs = [self.expression()]
+        while self.accept_punct(","):
+            exprs.append(self.expression())
+        return ast.Delete(tuple(exprs), detach=detach)
+
+    def _remove(self) -> ast.Remove:
+        items: List[ast.RemoveItem] = []
+        while True:
+            subject = self.expect_ident()
+            if self.accept_punct("."):
+                items.append(ast.RemoveItem(subject, key=self.expect_ident()))
+            else:
+                self.expect_punct(":")
+                items.append(ast.RemoveItem(subject, label=self.expect_ident()))
+            if not self.accept_punct(","):
+                break
+        return ast.Remove(tuple(items))
+
+    # -- patterns ---------------------------------------------------------
+
+    def _path_pattern(self) -> ast.PathPattern:
+        path_variable = None
+        if self.current.kind == "ident" and self.peek().is_punct("="):
+            path_variable = self.advance().value
+            self.advance()  # "="
+        nodes = [self._node_pattern()]
+        rels: List[ast.RelationshipPattern] = []
+        while self.current.is_punct("-", "<-"):
+            rels.append(self._relationship_pattern())
+            nodes.append(self._node_pattern())
+        return ast.PathPattern(tuple(nodes), tuple(rels), path_variable)
+
+    def _node_pattern(self) -> ast.NodePattern:
+        self.expect_punct("(")
+        variable = None
+        if self.current.kind == "ident":
+            variable = self.advance().value
+        labels: List[str] = []
+        while self.accept_punct(":"):
+            labels.append(self.expect_ident())
+        properties = None
+        if self.current.is_punct("{"):
+            properties = self._map_literal()
+        self.expect_punct(")")
+        return ast.NodePattern(variable, tuple(labels), properties)
+
+    def _relationship_pattern(self) -> ast.RelationshipPattern:
+        if self.accept_punct("<-"):
+            left_arrow = True
+        else:
+            self.expect_punct("-")
+            left_arrow = False
+
+        variable = None
+        types: List[str] = []
+        properties = None
+        if self.accept_punct("["):
+            if self.current.kind == "ident":
+                variable = self.advance().value
+            if self.accept_punct(":"):
+                types.append(self.expect_ident())
+                while self.accept_punct("|"):
+                    self.accept_punct(":")  # both `|T` and `|:T` accepted
+                    types.append(self.expect_ident())
+            if self.current.is_punct("{"):
+                properties = self._map_literal()
+            self.expect_punct("]")
+
+        if self.accept_punct("->"):
+            right_arrow = True
+        else:
+            self.expect_punct("-")
+            right_arrow = False
+
+        if left_arrow and right_arrow:
+            # `<-[r]->` — used by FalkorDB-style queries (Figure 1); treat as
+            # undirected, matching either orientation.
+            direction = ast.BOTH
+        elif left_arrow:
+            direction = ast.IN
+        elif right_arrow:
+            direction = ast.OUT
+        else:
+            direction = ast.BOTH
+        return ast.RelationshipPattern(
+            variable, tuple(types), direction, properties
+        )
+
+    def _map_literal(self) -> ast.MapLiteral:
+        self.expect_punct("{")
+        items: List[Tuple[str, ast.Expression]] = []
+        if not self.current.is_punct("}"):
+            while True:
+                key = self.expect_ident()
+                self.expect_punct(":")
+                items.append((key, self.expression()))
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct("}")
+        return ast.MapLiteral(tuple(items))
+
+    # -- expressions --------------------------------------------------------
+
+    def expression(self) -> ast.Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expression:
+        expr = self._xor_expr()
+        while self.accept_keyword("OR"):
+            expr = ast.Binary("OR", expr, self._xor_expr())
+        return expr
+
+    def _xor_expr(self) -> ast.Expression:
+        expr = self._and_expr()
+        while self.accept_keyword("XOR"):
+            expr = ast.Binary("XOR", expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> ast.Expression:
+        expr = self._not_expr()
+        while self.accept_keyword("AND"):
+            expr = ast.Binary("AND", expr, self._not_expr())
+        return expr
+
+    def _not_expr(self) -> ast.Expression:
+        if self.accept_keyword("NOT"):
+            return ast.Unary("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expression:
+        expr = self._additive()
+        while True:
+            token = self.current
+            if token.is_punct("=", "<>", "<", "<=", ">", ">="):
+                op = self.advance().value
+                expr = ast.Binary(op, expr, self._additive())
+            elif token.is_keyword("IN"):
+                self.advance()
+                expr = ast.Binary("IN", expr, self._additive())
+            elif token.is_keyword("STARTS"):
+                self.advance()
+                self.expect_keyword("WITH")
+                expr = ast.Binary("STARTS WITH", expr, self._additive())
+            elif token.is_keyword("ENDS"):
+                self.advance()
+                self.expect_keyword("WITH")
+                expr = ast.Binary("ENDS WITH", expr, self._additive())
+            elif token.is_keyword("CONTAINS"):
+                self.advance()
+                expr = ast.Binary("CONTAINS", expr, self._additive())
+            elif token.is_punct("=~"):
+                self.advance()
+                expr = ast.Binary("=~", expr, self._additive())
+            elif token.is_keyword("IS"):
+                self.advance()
+                negated = self.accept_keyword("NOT")
+                self.expect_keyword("NULL")
+                expr = ast.IsNull(expr, negated=negated)
+            else:
+                return expr
+
+    def _additive(self) -> ast.Expression:
+        expr = self._multiplicative()
+        while self.current.is_punct("+", "-"):
+            op = self.advance().value
+            expr = ast.Binary(op, expr, self._multiplicative())
+        return expr
+
+    def _multiplicative(self) -> ast.Expression:
+        expr = self._power()
+        while self.current.is_punct("*", "/", "%"):
+            op = self.advance().value
+            expr = ast.Binary(op, expr, self._power())
+        return expr
+
+    def _power(self) -> ast.Expression:
+        expr = self._unary()
+        if self.current.is_punct("^"):
+            self.advance()
+            return ast.Binary("^", expr, self._power())  # right-associative
+        return expr
+
+    def _unary(self) -> ast.Expression:
+        if self.current.is_punct("-"):
+            self.advance()
+            operand = self._unary()
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool):
+                return ast.Literal(-operand.value)
+            return ast.Unary("-", operand)
+        if self.current.is_punct("+"):
+            self.advance()
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expression:
+        expr = self._atom()
+        while True:
+            if self.current.is_punct("."):
+                # Property access; but `1.5` was already lexed as a float.
+                self.advance()
+                expr = ast.PropertyAccess(expr, self.expect_ident())
+            elif self.current.is_punct("["):
+                self.advance()
+                if self.accept_punct(".."):
+                    end = None if self.current.is_punct("]") else self.expression()
+                    self.expect_punct("]")
+                    expr = ast.ListSlice(expr, None, end)
+                    continue
+                first = self.expression()
+                if self.accept_punct(".."):
+                    end = None if self.current.is_punct("]") else self.expression()
+                    self.expect_punct("]")
+                    expr = ast.ListSlice(expr, first, end)
+                else:
+                    self.expect_punct("]")
+                    expr = ast.ListIndex(expr, first)
+            elif self.current.is_punct(":") and isinstance(
+                expr, (ast.Variable, ast.PropertyAccess)
+            ):
+                labels: List[str] = []
+                while self.accept_punct(":"):
+                    labels.append(self.expect_ident())
+                expr = ast.LabelsPredicate(expr, tuple(labels))
+            else:
+                return expr
+
+    def _atom(self) -> ast.Expression:
+        token = self.current
+
+        if token.kind == "int":
+            self.advance()
+            return ast.Literal(int(token.value))
+        if token.kind == "float":
+            self.advance()
+            return ast.Literal(float(token.value))
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("CASE"):
+            self.advance()
+            return self._case()
+
+        if token.kind == "ident":
+            # Function call or variable reference.
+            if self.peek().is_punct("("):
+                name = self.advance().value
+                self.advance()  # "("
+                if name.lower() == "count" and self.current.is_punct("*"):
+                    self.advance()
+                    self.expect_punct(")")
+                    return ast.CountStar()
+                distinct = self.accept_keyword("DISTINCT")
+                args: List[ast.Expression] = []
+                if not self.current.is_punct(")"):
+                    args.append(self.expression())
+                    while self.accept_punct(","):
+                        args.append(self.expression())
+                self.expect_punct(")")
+                return ast.FunctionCall(name, tuple(args), distinct=distinct)
+            self.advance()
+            return ast.Variable(token.value)
+
+        if token.is_punct("["):
+            self.advance()
+            # `[x IN source ...]` is a list comprehension, not a literal.
+            if self.current.kind == "ident" and self.peek().is_keyword("IN"):
+                variable = self.advance().value
+                self.advance()  # IN
+                source = self.expression()
+                where = None
+                if self.accept_keyword("WHERE"):
+                    where = self.expression()
+                projection = None
+                if self.accept_punct("|"):
+                    projection = self.expression()
+                self.expect_punct("]")
+                return ast.ListComprehension(variable, source, where, projection)
+            items: List[ast.Expression] = []
+            if not self.current.is_punct("]"):
+                items.append(self.expression())
+                while self.accept_punct(","):
+                    items.append(self.expression())
+            self.expect_punct("]")
+            return ast.ListLiteral(tuple(items))
+
+        if token.is_punct("{"):
+            return self._map_literal()
+
+        if token.is_punct("("):
+            # Could be a parenthesized expression, a labels predicate, or a
+            # pattern predicate like `(a)-[:T]->(b)`.  Try the pattern form
+            # first with backtracking; only accept it when at least one
+            # relationship is present (otherwise `(expr)` wins).
+            saved = self._pos
+            try:
+                pattern = self._path_pattern()
+                if pattern.relationships:
+                    return ast.PatternPredicate(pattern)
+            except ParseError:
+                pass
+            self._pos = saved
+            self.advance()
+            inner = self.expression()
+            self.expect_punct(")")
+            return inner
+
+        raise ParseError(
+            f"unexpected token {token.value!r} at {token.position}"
+        )
+
+    def _case(self) -> ast.CaseExpression:
+        subject = None
+        if not self.current.is_keyword("WHEN"):
+            subject = self.expression()
+        alternatives: List[ast.CaseAlternative] = []
+        while self.accept_keyword("WHEN"):
+            when = self.expression()
+            self.expect_keyword("THEN")
+            then = self.expression()
+            alternatives.append(ast.CaseAlternative(when, then))
+        if not alternatives:
+            raise ParseError("CASE requires at least one WHEN arm")
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.expression()
+        self.expect_keyword("END")
+        return ast.CaseExpression(subject, tuple(alternatives), default)
+
+
+def parse_query(text: str) -> Union[ast.Query, ast.UnionQuery]:
+    """Parse a full Cypher query."""
+    try:
+        tokens = tokenize(text)
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    return _Parser(tokens).parse_query()
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone expression (test helper)."""
+    try:
+        tokens = tokenize(text)
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    parser = _Parser(tokens)
+    expr = parser.expression()
+    if parser.current.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input at {parser.current.position}"
+        )
+    return expr

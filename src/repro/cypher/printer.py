@@ -1,0 +1,256 @@
+"""Render Cypher ASTs to query text.
+
+The printer produces openCypher-conformant text that the lexer/parser in this
+package round-trips; it is also what the simulated GDB drivers receive, and
+what the bug reports quote.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.cypher import ast
+
+__all__ = ["print_expression", "print_pattern", "print_clause", "print_query"]
+
+
+# Operators whose spelling needs a space (keyword operators).
+_KEYWORD_OPS = {
+    "AND",
+    "OR",
+    "XOR",
+    "IN",
+    "STARTS WITH",
+    "ENDS WITH",
+    "CONTAINS",
+    "=~",
+}
+
+
+def _print_literal(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        # Cypher has no literal spelling for non-finite floats; emit an
+        # expression that evaluates to them instead (as drivers do).
+        if value != value:  # NaN
+            return "((0.0) / (0.0))"
+        if value == float("inf"):
+            return "((1.0) / (0.0))"
+        if value == float("-inf"):
+            return "((-1.0) / (0.0))"
+        # Keep finite floats round-trippable; repr() is the shortest exact form.
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_print_literal(v) for v in value) + "]"
+    if isinstance(value, dict):
+        inner = ", ".join(f"{k}: {_print_literal(v)}" for k, v in value.items())
+        return "{" + inner + "}"
+    raise TypeError(f"cannot print literal of type {type(value)!r}")
+
+
+def print_expression(expr: ast.Expression) -> str:
+    """Render an expression node to Cypher text."""
+    if isinstance(expr, ast.Literal):
+        return _print_literal(expr.value)
+    if isinstance(expr, ast.Variable):
+        return expr.name
+    if isinstance(expr, ast.PropertyAccess):
+        subject = print_expression(expr.subject)
+        if not isinstance(expr.subject, (ast.Variable, ast.PropertyAccess)):
+            subject = f"({subject})"
+        return f"{subject}.{expr.key}"
+    if isinstance(expr, ast.Unary):
+        operand = print_expression(expr.operand)
+        if expr.op == "NOT":
+            return f"(NOT ({operand}))"
+        return f"({expr.op}({operand}))"
+    if isinstance(expr, ast.Binary):
+        left = print_expression(expr.left)
+        right = print_expression(expr.right)
+        op = expr.op
+        if op in _KEYWORD_OPS and op != "=~":
+            return f"(({left}) {op} ({right}))"
+        return f"(({left}) {op} ({right}))"
+    if isinstance(expr, ast.IsNull):
+        inner = print_expression(expr.operand)
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"(({inner}) {keyword})"
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(print_expression(a) for a in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.CountStar):
+        return "count(*)"
+    if isinstance(expr, ast.ListLiteral):
+        return "[" + ", ".join(print_expression(item) for item in expr.items) + "]"
+    if isinstance(expr, ast.MapLiteral):
+        inner = ", ".join(
+            f"{key}: {print_expression(value)}" for key, value in expr.items
+        )
+        return "{" + inner + "}"
+    if isinstance(expr, ast.ListComprehension):
+        out = f"[{expr.variable} IN {print_expression(expr.source)}"
+        if expr.where is not None:
+            out += f" WHERE {print_expression(expr.where)}"
+        if expr.projection is not None:
+            out += f" | {print_expression(expr.projection)}"
+        return out + "]"
+    if isinstance(expr, ast.ListIndex):
+        return f"({print_expression(expr.subject)})[{print_expression(expr.index)}]"
+    if isinstance(expr, ast.ListSlice):
+        start = print_expression(expr.start) if expr.start is not None else ""
+        end = print_expression(expr.end) if expr.end is not None else ""
+        return f"({print_expression(expr.subject)})[{start}..{end}]"
+    if isinstance(expr, ast.CaseExpression):
+        parts: List[str] = ["CASE"]
+        if expr.subject is not None:
+            parts.append(print_expression(expr.subject))
+        for alt in expr.alternatives:
+            parts.append(
+                f"WHEN {print_expression(alt.when)} THEN {print_expression(alt.then)}"
+            )
+        if expr.default is not None:
+            parts.append(f"ELSE {print_expression(expr.default)}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+    if isinstance(expr, ast.PatternPredicate):
+        return print_pattern(expr.pattern)
+    if isinstance(expr, ast.LabelsPredicate):
+        labels = "".join(f":{label}" for label in expr.labels)
+        return f"({print_expression(expr.subject)}{labels})"
+    raise TypeError(f"cannot print expression of type {type(expr)!r}")
+
+
+def _print_node_pattern(node: ast.NodePattern) -> str:
+    parts = node.variable or ""
+    parts += "".join(f":{label}" for label in node.labels)
+    if node.properties is not None:
+        props = print_expression(node.properties)
+        parts = f"{parts} {props}" if parts else props
+    return f"({parts})"
+
+
+def _print_rel_pattern(rel: ast.RelationshipPattern) -> str:
+    inner = rel.variable or ""
+    if rel.types:
+        inner += ":" + "|".join(rel.types)
+    if rel.properties is not None:
+        props = print_expression(rel.properties)
+        inner = f"{inner} {props}" if inner else props
+    body = f"[{inner}]" if inner else "[]"
+    if rel.direction == ast.OUT:
+        return f"-{body}->"
+    if rel.direction == ast.IN:
+        return f"<-{body}-"
+    return f"-{body}-"
+
+
+def print_pattern(pattern: ast.PathPattern) -> str:
+    """Render a path pattern to Cypher text."""
+    out = f"{pattern.path_variable} = " if pattern.path_variable else ""
+    out += _print_node_pattern(pattern.nodes[0])
+    for index, rel in enumerate(pattern.relationships):
+        out += _print_rel_pattern(rel)
+        out += _print_node_pattern(pattern.nodes[index + 1])
+    return out
+
+
+def _print_projection(items, distinct: bool) -> str:
+    rendered = []
+    for item in items:
+        text = print_expression(item.expression)
+        if item.alias:
+            text += f" AS {item.alias}"
+        rendered.append(text)
+    prefix = "DISTINCT " if distinct else ""
+    return prefix + ", ".join(rendered)
+
+
+def _print_tail(clause) -> str:
+    """ORDER BY / SKIP / LIMIT shared by WITH and RETURN."""
+    parts: List[str] = []
+    if clause.order_by:
+        keys = ", ".join(
+            print_expression(item.expression) + (" DESC" if item.descending else "")
+            for item in clause.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if clause.skip is not None:
+        parts.append(f"SKIP {print_expression(clause.skip)}")
+    if clause.limit is not None:
+        parts.append(f"LIMIT {print_expression(clause.limit)}")
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def print_clause(clause: ast.Clause) -> str:
+    """Render a single clause to Cypher text."""
+    if isinstance(clause, ast.Match):
+        keyword = "OPTIONAL MATCH" if clause.optional else "MATCH"
+        patterns = ", ".join(print_pattern(p) for p in clause.patterns)
+        text = f"{keyword} {patterns}"
+        if clause.where is not None:
+            text += f" WHERE {print_expression(clause.where)}"
+        return text
+    if isinstance(clause, ast.Unwind):
+        return f"UNWIND {print_expression(clause.expression)} AS {clause.alias}"
+    if isinstance(clause, ast.With):
+        text = "WITH " + _print_projection(clause.items, clause.distinct)
+        text += _print_tail(clause)
+        if clause.where is not None:
+            text += f" WHERE {print_expression(clause.where)}"
+        return text
+    if isinstance(clause, ast.Return):
+        text = "RETURN " + _print_projection(clause.items, clause.distinct)
+        text += _print_tail(clause)
+        return text
+    if isinstance(clause, ast.Call):
+        args = ", ".join(print_expression(a) for a in clause.args)
+        text = f"CALL {clause.procedure}({args})"
+        if clause.yield_items:
+            yields = ", ".join(
+                name + (f" AS {alias}" if alias else "")
+                for name, alias in clause.yield_items
+            )
+            text += f" YIELD {yields}"
+        return text
+    if isinstance(clause, ast.Create):
+        patterns = ", ".join(print_pattern(p) for p in clause.patterns)
+        return f"CREATE {patterns}"
+    if isinstance(clause, ast.SetClause):
+        items = ", ".join(
+            f"{item.subject}.{item.key} = {print_expression(item.value)}"
+            for item in clause.items
+        )
+        return f"SET {items}"
+    if isinstance(clause, ast.Delete):
+        keyword = "DETACH DELETE" if clause.detach else "DELETE"
+        return f"{keyword} " + ", ".join(
+            print_expression(e) for e in clause.expressions
+        )
+    if isinstance(clause, ast.Remove):
+        items = []
+        for item in clause.items:
+            if item.key is not None:
+                items.append(f"{item.subject}.{item.key}")
+            else:
+                items.append(f"{item.subject}:{item.label}")
+        return "REMOVE " + ", ".join(items)
+    if isinstance(clause, ast.Merge):
+        return f"MERGE {print_pattern(clause.pattern)}"
+    raise TypeError(f"cannot print clause of type {type(clause)!r}")
+
+
+def print_query(query) -> str:
+    """Render a :class:`Query` or :class:`UnionQuery` to Cypher text."""
+    if isinstance(query, ast.UnionQuery):
+        keyword = "UNION ALL" if query.all else "UNION"
+        return f"{print_query(query.left)} {keyword} {print_query(query.right)}"
+    return " ".join(print_clause(clause) for clause in query.clauses)

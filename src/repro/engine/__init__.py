@@ -1,0 +1,31 @@
+"""Reference Cypher execution engine."""
+
+from repro.engine.binding import BindingTable, ResultSet, Row
+from repro.engine.errors import (
+    CypherError,
+    CypherRuntimeError,
+    CypherSyntaxError,
+    CypherTypeError,
+    DatabaseCrash,
+    ResourceExhausted,
+)
+from repro.engine.evaluator import Evaluator, has_aggregate
+from repro.engine.executor import Executor, default_procedures
+from repro.engine.matcher import Matcher
+
+__all__ = [
+    "BindingTable",
+    "ResultSet",
+    "Row",
+    "Evaluator",
+    "Matcher",
+    "Executor",
+    "default_procedures",
+    "has_aggregate",
+    "CypherError",
+    "CypherSyntaxError",
+    "CypherRuntimeError",
+    "CypherTypeError",
+    "DatabaseCrash",
+    "ResourceExhausted",
+]

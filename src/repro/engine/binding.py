@@ -1,0 +1,110 @@
+"""Intermediate result representation.
+
+Cypher executes clause by clause; "each clause takes as input a table of
+intermediate status and produces a new table" (§2.2 of the paper).  A
+:class:`BindingTable` is that table: an ordered list of column names plus a
+bag (list) of rows, where each row maps column names to Cypher values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Sequence
+
+from repro.graph.values import equivalence_key
+
+__all__ = ["Row", "BindingTable", "ResultSet"]
+
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class BindingTable:
+    """An ordered bag of variable bindings flowing between clauses."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[Row] = field(default_factory=list)
+
+    @classmethod
+    def unit(cls) -> "BindingTable":
+        """The input to the first clause: one empty row, no columns."""
+        return cls(columns=[], rows=[{}])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def copy(self) -> "BindingTable":
+        return BindingTable(list(self.columns), [dict(row) for row in self.rows])
+
+    def distinct(self) -> "BindingTable":
+        """Remove duplicate rows under Cypher equivalence."""
+        seen = set()
+        out: List[Row] = []
+        for row in self.rows:
+            key = tuple(equivalence_key(row.get(col)) for col in self.columns)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return BindingTable(list(self.columns), out)
+
+
+class ResultSet:
+    """The final output of a query: column names and value tuples.
+
+    Comparison is bag-based (order-insensitive) unless the query ended with
+    an ``ORDER BY``, in which case ``ordered`` is set and comparisons respect
+    row order.  This mirrors how the paper's oracle must treat results.
+    """
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]],
+                 ordered: bool = False):
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+        self.ordered = ordered
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def _bag(self) -> Dict[tuple, int]:
+        bag: Dict[tuple, int] = {}
+        for row in self.rows:
+            key = tuple(equivalence_key(value) for value in row)
+            bag[key] = bag.get(key, 0) + 1
+        return bag
+
+    def same_rows(self, other: "ResultSet") -> bool:
+        """Bag equality of the row multisets (column order must match)."""
+        if self.columns != other.columns:
+            return False
+        return self._bag() == other._bag()
+
+    def is_sub_bag_of(self, other: "ResultSet") -> bool:
+        """Whether every row of self occurs in other at least as often."""
+        if self.columns != other.columns:
+            return False
+        mine, theirs = self._bag(), other._bag()
+        return all(theirs.get(key, 0) >= count for key, count in mine.items())
+
+    @staticmethod
+    def union_all(results: Sequence["ResultSet"]) -> "ResultSet":
+        """Bag union of several result sets (used by metamorphic oracles)."""
+        if not results:
+            return ResultSet([], [])
+        columns = results[0].columns
+        rows: List[tuple] = []
+        for result in results:
+            if result.columns != columns:
+                raise ValueError("column mismatch in union")
+            rows.extend(result.rows)
+        return ResultSet(columns, rows)

@@ -1,0 +1,39 @@
+"""Error hierarchy for the reference engine and simulated GDBs."""
+
+from __future__ import annotations
+
+from repro.graph.values import CypherError, CypherTypeError
+
+__all__ = [
+    "CypherError",
+    "CypherSyntaxError",
+    "CypherRuntimeError",
+    "CypherTypeError",
+    "DatabaseCrash",
+    "ResourceExhausted",
+]
+
+
+class CypherSyntaxError(CypherError):
+    """The query text or AST is malformed."""
+
+
+class CypherRuntimeError(CypherError):
+    """A well-formed query failed during evaluation (e.g. division by zero)."""
+
+
+class DatabaseCrash(CypherError):
+    """A simulated GDB crash (segfault/abort in the real system).
+
+    Raised by injected non-logic faults; the test harness records these as
+    "other bugs" (paper Table 3 distinguishes logic bugs from crashes,
+    exceptions, and memory issues).
+    """
+
+
+class ResourceExhausted(CypherError):
+    """A simulated hang / out-of-memory condition.
+
+    The real Memgraph bug of Figure 9 hangs and consumes >50 GB; the
+    simulation raises this instead of actually hanging the test process.
+    """

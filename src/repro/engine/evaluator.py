@@ -1,0 +1,365 @@
+"""Expression evaluation with openCypher semantics.
+
+The evaluator interprets :mod:`repro.cypher.ast` expression trees against a
+row of bindings and the current graph.  It implements:
+
+* three-valued logic for the boolean connectives and comparisons;
+* null propagation through operators and property accesses;
+* Cypher arithmetic — integer division truncates, ``%`` keeps the dividend's
+  sign (Java-style, as in Neo4j), ``^`` always yields a float, and integer
+  overflow beyond 64 bits is an error (production GDBs store 64-bit ints);
+* string predicates (STARTS WITH / ENDS WITH / CONTAINS / ``=~``);
+* list membership, indexing, slicing, and concatenation;
+* the 61-function library plus ``CASE`` expressions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Optional
+
+from repro.cypher import ast
+from repro.cypher.functions import FunctionError, call_function, is_aggregate
+from repro.engine.errors import CypherRuntimeError, CypherTypeError
+from repro.graph import values as V
+from repro.graph.model import Node, PropertyGraph, Relationship
+
+__all__ = ["Evaluator", "has_aggregate"]
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _check_int64(value: Any) -> Any:
+    if isinstance(value, int) and not isinstance(value, bool):
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise CypherRuntimeError("integer overflow")
+    return value
+
+
+def has_aggregate(expr: ast.Expression) -> bool:
+    """Whether *expr* contains an aggregation function call anywhere."""
+    if isinstance(expr, ast.CountStar):
+        return True
+    if isinstance(expr, ast.FunctionCall) and is_aggregate(expr.name):
+        return True
+    return any(has_aggregate(child) for child in expr.children())
+
+
+class Evaluator:
+    """Evaluates expressions against a binding row and a graph."""
+
+    def __init__(self, graph: PropertyGraph):
+        self.graph = graph
+
+    # -- public API ---------------------------------------------------
+
+    def evaluate(self, expr: ast.Expression, row: Dict[str, Any]) -> Any:
+        """Evaluate *expr* in the environment *row*; returns a Cypher value."""
+        value = self._eval(expr, row)
+        return self._resolve(value)
+
+    def evaluate_predicate(self, expr: ast.Expression, row: Dict[str, Any]) -> Optional[bool]:
+        """Evaluate *expr* as a WHERE predicate (boolean or null)."""
+        return V.coerce_to_boolean(self.evaluate(expr, row))
+
+    # -- internals ----------------------------------------------------
+
+    def _resolve(self, value: Any) -> Any:
+        """Resolve the startNode/endNode node-reference convention."""
+        if isinstance(value, tuple) and len(value) == 2 and value[0] == "__node_ref__":
+            return self.graph.node(value[1])
+        return value
+
+    def _eval(self, expr: ast.Expression, row: Dict[str, Any]) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Variable):
+            if expr.name not in row:
+                raise CypherRuntimeError(f"variable `{expr.name}` not defined")
+            return row[expr.name]
+        if isinstance(expr, ast.PropertyAccess):
+            return self._property(expr, row)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, row)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, row)
+        if isinstance(expr, ast.IsNull):
+            value = self.evaluate(expr.operand, row)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, ast.FunctionCall):
+            if is_aggregate(expr.name):
+                raise CypherRuntimeError(
+                    f"aggregate {expr.name}() not allowed in this context"
+                )
+            args = [self.evaluate(arg, row) for arg in expr.args]
+            try:
+                return call_function(expr.name, args)
+            except FunctionError:
+                raise
+        if isinstance(expr, ast.CountStar):
+            raise CypherRuntimeError("count(*) not allowed in this context")
+        if isinstance(expr, ast.ListLiteral):
+            return [self.evaluate(item, row) for item in expr.items]
+        if isinstance(expr, ast.MapLiteral):
+            return {key: self.evaluate(value, row) for key, value in expr.items}
+        if isinstance(expr, ast.ListComprehension):
+            return self._comprehension(expr, row)
+        if isinstance(expr, ast.ListIndex):
+            return self._index(expr, row)
+        if isinstance(expr, ast.ListSlice):
+            return self._slice(expr, row)
+        if isinstance(expr, ast.CaseExpression):
+            return self._case(expr, row)
+        if isinstance(expr, ast.PatternPredicate):
+            return self._pattern_predicate(expr, row)
+        if isinstance(expr, ast.LabelsPredicate):
+            subject = self.evaluate(expr.subject, row)
+            if subject is None:
+                return None
+            if not isinstance(subject, Node):
+                raise CypherTypeError("label predicate requires a node")
+            return all(label in subject.labels for label in expr.labels)
+        raise CypherRuntimeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _pattern_predicate(self, expr: ast.PatternPredicate, row: Dict[str, Any]) -> bool:
+        # Existential check: does at least one match extend the current row?
+        from repro.engine.matcher import Matcher
+
+        for name in expr.pattern.variables():
+            if name in row and row[name] is None:
+                return False
+        matcher = Matcher(self.graph)
+        for _match in matcher.match((expr.pattern,), row):
+            return True
+        return False
+
+    def _property(self, expr: ast.PropertyAccess, row: Dict[str, Any]) -> Any:
+        subject = self.evaluate(expr.subject, row)
+        if subject is None:
+            return None
+        if isinstance(subject, (Node, Relationship)):
+            return subject.properties.get(expr.key)
+        if isinstance(subject, dict):
+            return subject.get(expr.key)
+        raise CypherTypeError(
+            f"cannot access property .{expr.key} on {V.type_name(subject)}"
+        )
+
+    def _unary(self, expr: ast.Unary, row: Dict[str, Any]) -> Any:
+        operand = self.evaluate(expr.operand, row)
+        if expr.op == "NOT":
+            return V.ternary_not(V.coerce_to_boolean(operand))
+        if operand is None:
+            return None
+        if expr.op == "-":
+            if isinstance(operand, bool) or not isinstance(operand, (int, float)):
+                raise CypherTypeError("unary minus requires a number")
+            return _check_int64(-operand)
+        if expr.op == "+":
+            if isinstance(operand, bool) or not isinstance(operand, (int, float)):
+                raise CypherTypeError("unary plus requires a number")
+            return operand
+        raise CypherRuntimeError(f"unknown unary operator {expr.op!r}")
+
+    def _binary(self, expr: ast.Binary, row: Dict[str, Any]) -> Any:
+        op = expr.op
+
+        if op in ("AND", "OR", "XOR"):
+            left = V.coerce_to_boolean(self.evaluate(expr.left, row))
+            # Short circuiting is observable through errors, but Cypher
+            # evaluates eagerly; keep eager to mirror the reference.
+            right = V.coerce_to_boolean(self.evaluate(expr.right, row))
+            if op == "AND":
+                return V.ternary_and(left, right)
+            if op == "OR":
+                return V.ternary_or(left, right)
+            return V.ternary_xor(left, right)
+
+        left = self.evaluate(expr.left, row)
+        right = self.evaluate(expr.right, row)
+
+        if op == "=":
+            return V.ternary_equals(left, right)
+        if op == "<>":
+            return V.ternary_not(V.ternary_equals(left, right))
+        if op in ("<", "<=", ">", ">="):
+            verdict = V.ternary_compare(left, right)
+            if verdict is None:
+                return None
+            if op == "<":
+                return verdict < 0
+            if op == "<=":
+                return verdict <= 0
+            if op == ">":
+                return verdict > 0
+            return verdict >= 0
+
+        if op == "IN":
+            return self._in(left, right)
+        if op in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
+            if not isinstance(left, str) or not isinstance(right, str):
+                return None
+            if op == "STARTS WITH":
+                return left.startswith(right)
+            if op == "ENDS WITH":
+                return left.endswith(right)
+            return right in left
+        if op == "=~":
+            if not isinstance(left, str) or not isinstance(right, str):
+                return None
+            try:
+                return re.fullmatch(right, left) is not None
+            except re.error as exc:
+                raise CypherRuntimeError(f"invalid regex: {exc}") from exc
+
+        return self._arithmetic(op, left, right)
+
+    def _in(self, needle: Any, haystack: Any) -> Optional[bool]:
+        if haystack is None:
+            return None
+        if not isinstance(haystack, list):
+            raise CypherTypeError("IN requires a list on the right-hand side")
+        # `null IN []` is false (no elements to compare); with a non-empty
+        # list a null needle yields null.
+        saw_null = needle is None and bool(haystack)
+        for item in haystack:
+            verdict = V.ternary_equals(needle, item)
+            if verdict is True:
+                return True
+            if verdict is None:
+                saw_null = True
+        return None if saw_null else False
+
+    def _arithmetic(self, op: str, left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+
+        if op == "+":
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            if isinstance(left, list) and isinstance(right, list):
+                return left + right
+            if isinstance(left, list):
+                return left + [right]
+            if isinstance(right, list):
+                return [left] + right
+
+        for operand in (left, right):
+            if isinstance(operand, bool) or not isinstance(operand, (int, float)):
+                raise CypherTypeError(
+                    f"operator {op} cannot combine {V.type_name(left)} and "
+                    f"{V.type_name(right)}"
+                )
+
+        both_int = isinstance(left, int) and isinstance(right, int)
+        try:
+            if op == "+":
+                return _check_int64(left + right)
+            if op == "-":
+                return _check_int64(left - right)
+            if op == "*":
+                return _check_int64(left * right)
+            if op == "/":
+                if both_int:
+                    if right == 0:
+                        raise CypherRuntimeError("/ by zero")
+                    return _check_int64(int(left / right))  # truncate toward zero
+                if right == 0:
+                    if left == 0:
+                        return float("nan")
+                    return math.copysign(float("inf"), left) * math.copysign(1.0, right)
+                return left / right
+            if op == "%":
+                if right == 0:
+                    if both_int:
+                        raise CypherRuntimeError("% by zero")
+                    return float("nan")
+                result = math.fmod(left, right)
+                return int(result) if both_int else result
+            if op == "^":
+                try:
+                    result = float(left) ** float(right)
+                except (OverflowError, ZeroDivisionError):
+                    raise CypherRuntimeError("exponentiation out of range")
+                if isinstance(result, complex):
+                    return float("nan")
+                return result
+        except OverflowError as exc:
+            raise CypherRuntimeError("arithmetic overflow") from exc
+        raise CypherRuntimeError(f"unknown operator {op!r}")
+
+    def _comprehension(self, expr: ast.ListComprehension, row: Dict[str, Any]) -> Any:
+        source = self.evaluate(expr.source, row)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError(
+                f"list comprehension requires a list, got {V.type_name(source)}"
+            )
+        out = []
+        for item in source:
+            inner = dict(row)
+            inner[expr.variable] = item
+            if expr.where is not None:
+                verdict = V.coerce_to_boolean(self.evaluate(expr.where, inner))
+                if verdict is not True:
+                    continue
+            if expr.projection is not None:
+                out.append(self.evaluate(expr.projection, inner))
+            else:
+                out.append(item)
+        return out
+
+    def _index(self, expr: ast.ListIndex, row: Dict[str, Any]) -> Any:
+        subject = self.evaluate(expr.subject, row)
+        index = self.evaluate(expr.index, row)
+        if subject is None or index is None:
+            return None
+        if isinstance(subject, dict):
+            if not isinstance(index, str):
+                raise CypherTypeError("map index must be a string")
+            return subject.get(index)
+        if isinstance(subject, (list, str)):
+            if isinstance(index, bool) or not isinstance(index, int):
+                raise CypherTypeError("list index must be an integer")
+            if index < -len(subject) or index >= len(subject):
+                return None
+            return subject[index]
+        raise CypherTypeError(f"cannot index {V.type_name(subject)}")
+
+    def _slice(self, expr: ast.ListSlice, row: Dict[str, Any]) -> Any:
+        subject = self.evaluate(expr.subject, row)
+        if subject is None:
+            return None
+        if not isinstance(subject, (list, str)):
+            raise CypherTypeError(f"cannot slice {V.type_name(subject)}")
+        start = self.evaluate(expr.start, row) if expr.start is not None else None
+        end = self.evaluate(expr.end, row) if expr.end is not None else None
+        if (expr.start is not None and start is None) or (
+            expr.end is not None and end is None
+        ):
+            return None
+        for bound in (start, end):
+            if bound is not None and (
+                isinstance(bound, bool) or not isinstance(bound, int)
+            ):
+                raise CypherTypeError("slice bounds must be integers")
+        return subject[slice(start, end)]
+
+    def _case(self, expr: ast.CaseExpression, row: Dict[str, Any]) -> Any:
+        if expr.subject is not None:
+            subject = self.evaluate(expr.subject, row)
+            for alt in expr.alternatives:
+                candidate = self.evaluate(alt.when, row)
+                if V.ternary_equals(subject, candidate) is True:
+                    return self.evaluate(alt.then, row)
+        else:
+            for alt in expr.alternatives:
+                verdict = V.coerce_to_boolean(self.evaluate(alt.when, row))
+                if verdict is True:
+                    return self.evaluate(alt.then, row)
+        if expr.default is not None:
+            return self.evaluate(expr.default, row)
+        return None

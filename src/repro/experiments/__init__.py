@@ -1,0 +1,65 @@
+"""Evaluation harness: regenerates every table and figure of the paper's §5."""
+
+from repro.experiments.campaign import (
+    DAY_EQUIVALENT_SECONDS,
+    FULL_CAMPAIGN_GATE_SCALE,
+    FULL_CAMPAIGN_MAX_QUERIES,
+    TESTER_NAMES,
+    make_tester,
+    run_tool_campaign,
+    tester_supports,
+)
+from repro.experiments.figures import (
+    collect_trigger_records,
+    figure10,
+    figure10_throughput,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure18,
+)
+from repro.experiments.report import (
+    render_histogram,
+    render_kv,
+    render_series,
+    render_table,
+)
+from repro.experiments.tables import (
+    run_full_gqs_campaigns,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = [
+    "DAY_EQUIVALENT_SECONDS",
+    "FULL_CAMPAIGN_GATE_SCALE",
+    "FULL_CAMPAIGN_MAX_QUERIES",
+    "TESTER_NAMES",
+    "make_tester",
+    "run_tool_campaign",
+    "tester_supports",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "run_full_gqs_campaigns",
+    "collect_trigger_records",
+    "figure10",
+    "figure10_throughput",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure18",
+    "render_table",
+    "render_histogram",
+    "render_series",
+    "render_kv",
+]

@@ -1,0 +1,64 @@
+"""Plain-text rendering of tables and figures, in the paper's row format."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_histogram", "render_series", "render_kv"]
+
+
+def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_histogram(
+    data: Mapping[str, int], title: str = "", width: int = 40
+) -> str:
+    """Render a {label: count} mapping as an ASCII bar chart."""
+    lines = [title] if title else []
+    if not data:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(data.values()) or 1
+    label_width = max(len(str(label)) for label in data)
+    for label, count in data.items():
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence], title: str = ""
+) -> str:
+    """Render named (x, y) series as aligned columns (for Figure 18)."""
+    lines = [title] if title else []
+    for name, points in series.items():
+        rendered = ", ".join(f"{x:g}:{y}" for x, y in points)
+        lines.append(f"{name:>10s}: {rendered}")
+    return "\n".join(lines)
+
+
+def render_kv(data: Mapping[str, object], title: str = "") -> str:
+    """Render a flat mapping, one entry per line."""
+    lines = [title] if title else []
+    for key, value in data.items():
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,387 @@
+"""The injected-fault catalog.
+
+36 faults mirror the paper's Table 3 (the bugs GQS found):
+
+* Neo4j      2 logic + 3 other   (e.g. Figure 7: wrong property value)
+* Memgraph   6 logic + 1 other   (e.g. Figure 8: empty result under
+                                  Cartesian-product optimization; Figure 9:
+                                  replace('', …) hang)
+* Kùzu       5 logic + 2 other   (binary-operator helper bug; unsafe types)
+* FalkorDB  13 logic + 4 other   (Figure 1: wrong value with undirected
+                                  patterns; Figure 17: UNWIND fetches only
+                                  the first record)
+
+Two additional *session-only* crashes (``falkordb-S1``/``S2``) model the two
+FalkorDB bugs that GDBMeter and Gamera found after 21 and 17 hours of
+continuous testing and that GQS misses because it restarts the instance per
+graph (§5.4.4).  They are excluded from the 36 via ``session_only``.
+
+``introduced_year`` encodes Table 4's latency analysis (FalkorDB bugs
+average 4.0 years latent, max 5.0; Memgraph 3.4; Neo4j 2.2, max 2.7);
+``confirmed``/``fixed`` mirror Table 3's confirmation columns.
+
+Gate values are calibrated against the measured feature distributions of the
+GQS synthesizer and the five baseline generators (see
+``scripts/calibrate_faults.py``): faults the paper reports as found within
+24 hours have an effective GQS trigger rate around 1/400 queries; the rest
+sit near 1/8000 and surface only in longer campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gdb.faults import Fault, FaultEffect, QueryFeatures
+
+__all__ = ["build_catalog", "faults_for", "all_faults", "gqs_scope_faults"]
+
+E = FaultEffect
+
+
+def build_catalog() -> List[Fault]:
+    """Construct the full fault catalog (36 GQS-scope + 2 session-only)."""
+    faults: List[Fault] = []
+
+    # ------------------------------------------------------------------
+    # Neo4j: 2 logic + 3 other, all confirmed, all fixed (Table 3).
+    # ------------------------------------------------------------------
+    faults += [
+        Fault(
+            "neo4j-L1", "neo4j",
+            "wrong property value returned when an UNWIND separates two MATCH "
+            "clauses with many patterns (Figure 7)",
+            "logic", 2.7,
+            lambda f: f.unwind_between_matches and f.patterns >= 3 and f.depth >= 3,
+            E.wrong_value, confirmed=True, fixed=True, gate=4,
+        ),
+        Fault(
+            "neo4j-L2", "neo4j",
+            "DISTINCT projection loses its deduplication when combined with "
+            "ORDER BY over heavily shared variables",
+            "logic", 1.8,
+            lambda f: f.has_distinct and f.has_order_by and f.dependencies >= 20,
+            E.duplicate_rows, confirmed=True, fixed=True, gate=4800,
+        ),
+        Fault(
+            "neo4j-O1", "neo4j",
+            "stack exhaustion on deeply nested expressions",
+            "exception", 2.2,
+            lambda f: f.depth >= 9,
+            E.exception, confirmed=True, fixed=True, gate=320,
+        ),
+        Fault(
+            "neo4j-O2", "neo4j",
+            "internal exception when CALL output feeds a UNION branch",
+            "exception", 1.9,
+            lambda f: f.has_call and f.has_union,
+            E.exception, confirmed=True, fixed=True, gate=96,
+        ),
+        Fault(
+            "neo4j-O3", "neo4j",
+            "runaway memory when a single MATCH carries very many patterns",
+            "memory", 2.1,
+            lambda f: f.patterns >= 9,
+            E.hang, confirmed=True, fixed=True, gate=2720,
+        ),
+    ]
+
+    # ------------------------------------------------------------------
+    # Memgraph: 6 logic + 1 other; all confirmed, 1 logic fixed.
+    # ------------------------------------------------------------------
+    faults += [
+        Fault(
+            "memgraph-L1", "memgraph",
+            "empty result when Cartesian-product optimization combines with "
+            "filtering across five or more clauses (Figure 8)",
+            "logic", 3.4,
+            lambda f: (
+                f.match_count + f.optional_match_count >= 2
+                and f.has_order_by
+                and f.clauses >= 5
+                and f.has_where
+            ),
+            E.empty_result, confirmed=True, fixed=True, gate=280,
+        ),
+        Fault(
+            "memgraph-L2", "memgraph",
+            "empty result when a WITH projection precedes a WHERE filter "
+            "(Figure 16; invisible to ternary-logic partitioning)",
+            "logic", 3.0,
+            lambda f: f.with_count >= 1 and f.has_where and f.dependencies >= 6,
+            E.empty_result, confirmed=True, fixed=False, gate=400,
+        ),
+        Fault(
+            "memgraph-L3", "memgraph",
+            "ORDER BY ... LIMIT drops one qualifying record",
+            "logic", 3.2,
+            lambda f: f.has_order_by and f.has_limit and f.clauses >= 3,
+            E.drop_last_row, confirmed=True, fixed=False, gate=3600,
+        ),
+        Fault(
+            "memgraph-L4", "memgraph",
+            "XOR in predicates is evaluated with inverted ternary semantics",
+            "logic", 4.1,
+            lambda f: f.xor_ops >= 1 and f.has_where,
+            E.empty_result, confirmed=True, fixed=False, gate=272,
+        ),
+        Fault(
+            "memgraph-L5", "memgraph",
+            "left()/right() return values are shifted by one character in "
+            "complex projections",
+            "logic", 3.6,
+            lambda f: (
+                ("left" in f.functions or "right" in f.functions) and f.depth >= 4
+            ),
+            E.wrong_value, confirmed=True, fixed=False, gate=5040,
+        ),
+        Fault(
+            "memgraph-L6", "memgraph",
+            "duplicated record when UNWIND output is aggregated downstream",
+            "logic", 2.8,
+            lambda f: f.unwind_count >= 1 and f.aggregate_count >= 1 and f.clauses >= 4,
+            E.duplicate_rows, confirmed=True, fixed=False, gate=640,
+        ),
+        Fault(
+            "memgraph-O1", "memgraph",
+            "replace() with an empty search string hangs and exhausts memory "
+            "(Figure 9)",
+            "memory", 3.1,
+            lambda f: f.replace_with_empty,
+            E.hang, confirmed=True, fixed=False, gate=8,
+        ),
+    ]
+
+    # ------------------------------------------------------------------
+    # Kùzu: 5 logic + 2 other, all confirmed and fixed.
+    # ------------------------------------------------------------------
+    faults += [
+        Fault(
+            "kuzu-L1", "kuzu",
+            "common binary-operator helper computes the wrong result for "
+            "nested modulo/division chains",
+            "logic", 0.9,
+            lambda f: (f.modulo_ops + f.division_ops) >= 2 and f.depth >= 5,
+            E.wrong_value, confirmed=True, fixed=True, gate=240,
+        ),
+        Fault(
+            "kuzu-L2", "kuzu",
+            "numeric conversion functions compare int/float inconsistently "
+            "inside filters",
+            "logic", 1.2,
+            lambda f: f.conversion_functions >= 3 and f.has_where,
+            E.empty_result, confirmed=True, fixed=True, gate=560,
+        ),
+        Fault(
+            "kuzu-L3", "kuzu",
+            "OPTIONAL MATCH null propagation corrupts a projected column "
+            "(unsafe type usage; potential memory corruption)",
+            "logic", 1.4,
+            lambda f: f.optional_match_count >= 1 and f.dependencies >= 12,
+            E.null_value, confirmed=True, fixed=True, gate=310,
+        ),
+        Fault(
+            "kuzu-L4", "kuzu",
+            "explicit relationship-inequality predicates are dropped by the "
+            "planner, duplicating matches",
+            "logic", 1.1,
+            lambda f: f.rel_inequality_predicates >= 2 and f.patterns >= 2,
+            E.duplicate_rows, confirmed=True, fixed=True, gate=650,
+        ),
+        Fault(
+            "kuzu-L5", "kuzu",
+            "ORDER BY inside WITH ... LIMIT returns one record short "
+            "(unsafe type usage; potential memory corruption)",
+            "logic", 1.0,
+            lambda f: f.has_order_by and f.has_limit and f.with_count >= 2,
+            E.drop_last_row, confirmed=True, fixed=True, gate=320,
+        ),
+        Fault(
+            "kuzu-O1", "kuzu",
+            "crash on expressions nested beyond nine levels",
+            "crash", 1.3,
+            lambda f: f.depth >= 10,
+            E.crash, confirmed=True, fixed=True, gate=580,
+        ),
+        Fault(
+            "kuzu-O2", "kuzu",
+            "internal exception when CASE expressions meet ORDER BY",
+            "exception", 0.8,
+            lambda f: f.case_count >= 2 and f.has_order_by,
+            E.exception, confirmed=True, fixed=True, gate=1100,
+        ),
+    ]
+
+    # ------------------------------------------------------------------
+    # FalkorDB: 13 logic + 4 other; 4 logic + 2 other confirmed, 1 other
+    # fixed (the paper notes the slower confirmation cadence).
+    # ------------------------------------------------------------------
+    faults += [
+        Fault(
+            "falkordb-L1", "falkordb",
+            "wrong value returned when undirected patterns combine with "
+            "UNWIND and WITH DISTINCT (Figure 1)",
+            "logic", 4.0,
+            lambda f: (
+                f.undirected_rels >= 1
+                and f.unwind_count >= 1
+                and f.with_count >= 1
+                and f.match_count >= 2
+            ),
+            E.wrong_value, confirmed=True, fixed=False, gate=90,
+        ),
+        Fault(
+            "falkordb-L2", "falkordb",
+            "UNWIND before MATCH fetches only the first record (Figure 17)",
+            "logic", 1.5,
+            lambda f: f.unwind_before_match and f.match_count >= 1,
+            E.keep_first_row, confirmed=True, fixed=False, gate=14,
+        ),
+        Fault(
+            "falkordb-L3", "falkordb",
+            "multi-label node patterns with filters match nothing",
+            "logic", 5.0,
+            lambda f: f.multi_label_nodes >= 3 and f.has_where,
+            E.empty_result, confirmed=True, fixed=False, gate=196,
+        ),
+        Fault(
+            "falkordb-L4", "falkordb",
+            "string predicates over concatenated values evaluate to false",
+            "logic", 4.5,
+            lambda f: f.string_predicates >= 1 and f.depth >= 5,
+            E.empty_result, confirmed=True, fixed=False, gate=245,
+        ),
+        Fault(
+            "falkordb-L5", "falkordb",
+            "OPTIONAL MATCH emits a spurious all-null record",
+            "logic", 4.2,
+            lambda f: f.optional_match_count >= 2,
+            E.extra_null_row, confirmed=False, fixed=False, gate=688,
+        ),
+        Fault(
+            "falkordb-L6", "falkordb",
+            "descending ORDER BY drops the first record for negative keys",
+            "logic", 3.8,
+            lambda f: f.has_desc_order and f.clauses >= 4,
+            E.drop_last_row, confirmed=False, fixed=False, gate=284,
+        ),
+        Fault(
+            "falkordb-L7", "falkordb",
+            "DISTINCT over graph-element columns keeps duplicates",
+            "logic", 4.8,
+            lambda f: f.has_distinct and f.dependencies >= 15,
+            E.duplicate_rows, confirmed=False, fixed=False, gate=288,
+        ),
+        Fault(
+            "falkordb-L8", "falkordb",
+            "CALL procedure output rows are lost after a filter",
+            "logic", 3.5,
+            lambda f: f.has_call and f.has_where,
+            E.empty_result, confirmed=False, fixed=False, gate=496,
+        ),
+        Fault(
+            "falkordb-L9", "falkordb",
+            "deeply nested arithmetic evaluates incorrectly",
+            "logic", 4.4,
+            lambda f: f.depth >= 7 and (f.modulo_ops + f.division_ops) >= 1,
+            E.wrong_value, confirmed=False, fixed=False, gate=260,
+        ),
+        Fault(
+            "falkordb-L10", "falkordb",
+            "relationship variables reused across clauses resolve to the "
+            "wrong record",
+            "logic", 4.6,
+            lambda f: f.dependencies >= 25 and f.match_count >= 2,
+            E.wrong_value, confirmed=False, fixed=False, gate=188,
+        ),
+        Fault(
+            "falkordb-L11", "falkordb",
+            "LIMIT after WITH returns one extra record",
+            "logic", 3.9,
+            lambda f: f.has_limit and f.with_count >= 1 and f.clauses >= 4,
+            E.duplicate_rows, confirmed=False, fixed=False, gate=4160,
+        ),
+        Fault(
+            "falkordb-L12", "falkordb",
+            "modulo on negative operands returns the wrong sign",
+            "logic", 4.1,
+            lambda f: f.modulo_ops >= 2 and f.has_where,
+            E.empty_result, confirmed=False, fixed=False, gate=1520,
+        ),
+        Fault(
+            "falkordb-L13", "falkordb",
+            "UNION deduplication keeps equivalent records",
+            "logic", 3.7,
+            lambda f: f.has_union and not f.has_limit,
+            E.duplicate_rows, confirmed=False, fixed=False, gate=96,
+        ),
+        Fault(
+            "falkordb-O1", "falkordb",
+            "crash when a single MATCH carries very many patterns",
+            "crash", 4.3,
+            lambda f: f.patterns >= 8,
+            E.crash, confirmed=True, fixed=True, gate=3600,
+        ),
+        Fault(
+            "falkordb-O2", "falkordb",
+            "unbounded memory on deep string-predicate chains",
+            "memory", 4.0,
+            lambda f: f.string_predicates >= 2 and f.depth >= 8,
+            E.hang, confirmed=True, fixed=False, gate=1600,
+        ),
+        Fault(
+            "falkordb-O3", "falkordb",
+            "internal exception when a CASE result is indexed as a list",
+            "exception", 3.6,
+            lambda f: f.case_count >= 1 and f.list_index_count >= 1,
+            E.exception, confirmed=False, fixed=False, gate=2000,
+        ),
+        Fault(
+            "falkordb-O4", "falkordb",
+            "unbounded memory growth combining collect() with DISTINCT",
+            "memory", 3.3,
+            lambda f: "collect" in f.functions and f.has_distinct,
+            E.hang, confirmed=False, fixed=False, gate=800,
+        ),
+    ]
+
+    # ------------------------------------------------------------------
+    # Session-accumulation crashes (NOT part of GQS's 36; §5.4.4).
+    # ------------------------------------------------------------------
+    faults += [
+        Fault(
+            "falkordb-S1", "falkordb",
+            "crash after a long-lived session (memory accumulates across "
+            "queries; found by continuous-session testers only)",
+            "crash", 4.1,
+            lambda f: f.patterns >= 1 and f.has_where,
+            E.crash, confirmed=True, fixed=False,
+            session_queries_required=11_500,
+        ),
+        Fault(
+            "falkordb-S2", "falkordb",
+            "crash after a very long session exercising filters",
+            "crash", 3.9,
+            lambda f: f.has_where,
+            E.crash, confirmed=True, fixed=False,
+            session_queries_required=14_200,
+        ),
+    ]
+    return faults
+
+
+_CATALOG: List[Fault] = build_catalog()
+
+
+def all_faults() -> List[Fault]:
+    """The full catalog (38 faults: 36 GQS-scope + 2 session-only)."""
+    return list(_CATALOG)
+
+
+def gqs_scope_faults() -> List[Fault]:
+    """The 36 faults of the paper's Table 3 (session-only crashes excluded)."""
+    return [fault for fault in _CATALOG if not fault.session_queries_required]
+
+
+def faults_for(gdb: str) -> List[Fault]:
+    """The faults injected into one engine."""
+    return [fault for fault in _CATALOG if fault.gdb == gdb]

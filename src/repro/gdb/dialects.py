@@ -1,0 +1,118 @@
+"""Per-GDB Cypher dialect descriptions (paper §4 and Table 2).
+
+Each dialect captures the behavioural variations the paper handles
+explicitly, plus the engine metadata of Table 2 and a simple execution-cost
+model used by the simulated campaign clock:
+
+* **Relationship uniqueness**: Kùzu and FalkorDB allow one relationship to
+  match several pattern elements; GQS compensates with ``r1 <> r2``
+  predicates.
+* **Procedures**: ``CALL db.labels()`` exists in Neo4j and FalkorDB but not
+  in Kùzu or Memgraph.
+* **Schema requirement**: Kùzu needs the schema before data loads.
+* **Type leniency**: engines differ in whether runtime type mismatches
+  raise or silently yield empty results — a major source of differential
+  false positives (§5.4.3).
+* **Cost model**: the paper reports ~6 queries/s on Memgraph and ~3 on
+  Neo4j for 9-step queries, with 9-step queries 6.6× slower than 3-step
+  ones; ``cost_of_steps`` reproduces that shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+__all__ = ["Dialect", "NEO4J", "MEMGRAPH", "KUZU", "FALKORDB", "DIALECTS"]
+
+
+# Growth rate chosen so that cost(9 steps) / cost(3 steps) = 6.6 (§5.3).
+_COST_GROWTH = math.log(6.6) / 6.0
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Static description of one simulated GDB."""
+
+    name: str
+    display_name: str
+    github_stars: str
+    initial_release: int
+    tested_versions: Tuple[str, ...]
+    loc: str
+    enforces_rel_uniqueness: bool = True
+    supports_call_procedures: bool = True
+    requires_schema: bool = False
+    lenient_type_errors: bool = False
+    in_memory: bool = True
+    unsupported_functions: FrozenSet[str] = frozenset()
+    float_format_digits: int = 0      # 0: full repr; >0: driver rounds output
+    base_query_cost: float = 0.01     # simulated seconds at "zero steps"
+
+    def cost_of_steps(self, steps: int) -> float:
+        """Simulated execution cost (seconds) of a query with *steps* clauses."""
+        return self.base_query_cost * math.exp(_COST_GROWTH * max(steps, 1))
+
+
+NEO4J = Dialect(
+    name="neo4j",
+    display_name="Neo4j",
+    github_stars="13.2K",
+    initial_release=2007,
+    tested_versions=("5.18", "5.20", "5.21.2"),
+    loc="1.4M",
+    enforces_rel_uniqueness=True,
+    supports_call_procedures=True,
+    in_memory=False,                       # on-disk: ~3 q/s at 9 steps (§5.3)
+    base_query_cost=1.0 / (3.0 * math.exp(_COST_GROWTH * 9)),
+)
+
+MEMGRAPH = Dialect(
+    name="memgraph",
+    display_name="Memgraph",
+    github_stars="2.4K",
+    initial_release=2017,
+    tested_versions=("2.13", "2.14.1", "2.15", "2.17"),
+    loc="0.2M",
+    enforces_rel_uniqueness=True,
+    supports_call_procedures=False,        # no db.labels() (§4)
+    lenient_type_errors=True,              # runtime type errors yield no rows
+    in_memory=True,                        # ~6 q/s at 9 steps (§5.3)
+    unsupported_functions=frozenset(["cot", "isnan", "valuetype"]),
+    base_query_cost=1.0 / (6.0 * math.exp(_COST_GROWTH * 9)),
+)
+
+KUZU = Dialect(
+    name="kuzu",
+    display_name="Kùzu",
+    github_stars="1.3K",
+    initial_release=2022,
+    tested_versions=("0.4.2", "0.7.1"),
+    loc="11.9M",
+    enforces_rel_uniqueness=False,         # deviates from the reference (§4)
+    supports_call_procedures=False,
+    requires_schema=True,                  # schema needed before loading (§4)
+    in_memory=True,
+    unsupported_functions=frozenset(["tostringornull", "tobooleanornull"]),
+    base_query_cost=1.0 / (5.0 * math.exp(_COST_GROWTH * 9)),
+)
+
+FALKORDB = Dialect(
+    name="falkordb",
+    display_name="FalkorDB",
+    github_stars="651",
+    initial_release=2023,                  # fork of RedisGraph (2018)
+    tested_versions=("4.2.0",),
+    loc="2.8M",
+    enforces_rel_uniqueness=False,         # deviates from the reference (§4)
+    supports_call_procedures=True,
+    in_memory=True,
+    unsupported_functions=frozenset(["atan2", "valuetype"]),
+    float_format_digits=6,                 # driver output rounds floats
+    base_query_cost=1.0 / (5.5 * math.exp(_COST_GROWTH * 9)),
+)
+
+DIALECTS = {
+    dialect.name: dialect for dialect in (NEO4J, MEMGRAPH, KUZU, FALKORDB)
+}

@@ -1,0 +1,284 @@
+"""Simulated graph databases under test.
+
+Each engine couples the reference executor with a dialect and a fault
+catalog.  Execution proceeds exactly like a production GDB from the tester's
+perspective: load a graph, send Cypher (text or AST), get a result set or an
+error.  Under the hood, the engine computes the *correct* answer with the
+reference executor and then lets the first triggered fault perturb it —
+wrong values, missing rows, crashes, hangs.
+
+The ``last_fired_fault`` attribute is a white-box accounting hook: black-box
+testers never see it, but the experiment harness uses it to deduplicate
+detected discrepancies into distinct bugs, playing the role of the manual
+root-cause deduplication the paper performs (§7, Limitations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_query
+from repro.cypher.printer import print_query
+from repro.engine.binding import ResultSet
+from repro.engine.errors import (
+    CypherError,
+    CypherRuntimeError,
+    CypherTypeError,
+    DatabaseCrash,
+)
+from repro.engine.executor import Executor, default_procedures
+from repro.gdb.catalog import faults_for
+from repro.gdb.dialects import DIALECTS, Dialect
+from repro.gdb.faults import Fault, extract_features
+from repro.graph.model import PropertyGraph
+from repro.graph.schema import GraphSchema
+
+__all__ = [
+    "GraphDatabase",
+    "Neo4jSim",
+    "MemgraphSim",
+    "KuzuSim",
+    "FalkorDBSim",
+    "ReferenceGDB",
+    "create_engine",
+    "ALL_ENGINE_NAMES",
+]
+
+AnyQuery = Union[str, ast.Query, ast.UnionQuery]
+
+ALL_ENGINE_NAMES = ("neo4j", "memgraph", "kuzu", "falkordb")
+
+
+class GraphDatabase:
+    """Base class for the simulated engines."""
+
+    def __init__(
+        self,
+        dialect: Dialect,
+        faults: Optional[List[Fault]] = None,
+        faults_enabled: bool = True,
+        gate_scale: float = 1.0,
+    ):
+        self.dialect = dialect
+        self.name = dialect.name
+        # gate_scale < 1 compresses fault latency: the experiment harness
+        # uses it to emulate the paper's months-long full campaign within a
+        # benchmark-sized run (documented in EXPERIMENTS.md).
+        self.gate_scale = gate_scale
+        self.faults = list(faults) if faults is not None else faults_for(dialect.name)
+        self.faults_enabled = faults_enabled
+        self.graph: Optional[PropertyGraph] = None
+        self.schema: Optional[GraphSchema] = None
+        self.last_fired_fault: Optional[Fault] = None
+        self.queries_since_restart = 0
+        self.total_queries = 0
+        self.crashed = False
+        self._executor: Optional[Executor] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def restart(self) -> None:
+        """Restart the instance: clears session state (and crash status)."""
+        self.queries_since_restart = 0
+        self.crashed = False
+
+    def load_graph(
+        self,
+        graph: PropertyGraph,
+        schema: Optional[GraphSchema] = None,
+        restart: bool = True,
+    ) -> None:
+        """Load (a copy of) *graph*; optionally restart the instance.
+
+        GQS restarts the engine per graph for reproducibility; long-session
+        testers pass ``restart=False`` so engine state accumulates
+        (§5.4.4's crash-bug trade-off).
+        """
+        if self.dialect.requires_schema and schema is None:
+            raise CypherRuntimeError(
+                f"{self.dialect.display_name} requires a schema before "
+                f"loading data"
+            )
+        self.graph = graph.copy()
+        self.schema = schema
+        self._executor = Executor(
+            self.graph,
+            enforce_rel_uniqueness=self.dialect.enforces_rel_uniqueness,
+            procedures=default_procedures()
+            if self.dialect.supports_call_procedures
+            else {},
+        )
+        if restart:
+            self.restart()
+
+    # -- query execution ----------------------------------------------------
+
+    def execute(self, query: AnyQuery) -> ResultSet:
+        """Execute *query*; raises CypherError subclasses on failure."""
+        if self._executor is None or self.graph is None:
+            raise CypherRuntimeError("no graph loaded")
+        if self.crashed:
+            raise DatabaseCrash(
+                f"{self.dialect.display_name} instance is down; restart it"
+            )
+
+        if isinstance(query, str):
+            text = query
+            tree = parse_query(text)
+        else:
+            tree = query
+            text = print_query(query)
+
+        self.queries_since_restart += 1
+        self.total_queries += 1
+        self.last_fired_fault = None
+
+        features = extract_features(tree, text)
+        self._check_dialect_support(features)
+
+        fired: Optional[Fault] = None
+        if self.faults_enabled:
+            # Crash/hang/exception faults abort execution before any result
+            # is produced, so they take precedence over logic faults.
+            ordered = sorted(self.faults, key=lambda fault: fault.is_logic)
+            for fault in ordered:
+                if fault.triggers(
+                    features, self.queries_since_restart, self.gate_scale
+                ):
+                    fired = fault
+                    break
+
+        if fired is not None and not fired.is_logic:
+            # Crash/hang/exception faults fire before producing any rows.
+            self.last_fired_fault = fired
+            if fired.category == "crash":
+                self.crashed = True
+            fired.effect(ResultSet([], []), features.signature_hash())
+
+        try:
+            correct = self._executor.execute(tree)
+        except CypherTypeError:
+            if self.dialect.lenient_type_errors:
+                # Engines like Memgraph coerce runtime type mismatches into
+                # empty results instead of raising.
+                return ResultSet([], [])
+            raise
+
+        if fired is not None:
+            self.last_fired_fault = fired
+            return fired.effect(correct, features.signature_hash())
+        return correct
+
+    def _check_dialect_support(self, features) -> None:
+        unsupported = self.dialect.unsupported_functions
+        if unsupported:
+            for name in features.functions:
+                if name in unsupported:
+                    raise CypherRuntimeError(
+                        f"{self.dialect.display_name}: unknown function "
+                        f"`{name}`"
+                    )
+
+    # -- driver-level output (what differential testers compare) ------------
+
+    def format_result(self, result: ResultSet) -> List[List[str]]:
+        """Render a result the way this engine's driver prints it.
+
+        Differential testers compare these strings; the per-engine float
+        formatting differences are one of the organic sources of GDsmith's
+        false positives (§5.4.3).
+        """
+        rendered: List[List[str]] = []
+        for row in result.rows:
+            rendered.append([self._format_value(value) for value in row])
+        return rendered
+
+    def _format_value(self, value: Any) -> str:
+        if isinstance(value, float) and self.dialect.float_format_digits:
+            return f"{value:.{self.dialect.float_format_digits}g}"
+        if isinstance(value, list):
+            return "[" + ", ".join(self._format_value(v) for v in value) + "]"
+        return repr(value)
+
+    # -- cost model -------------------------------------------------------
+
+    def cost_of(self, query: AnyQuery) -> float:
+        """Simulated wall-clock seconds to run *query* on this engine."""
+        if isinstance(query, str):
+            tree = parse_query(query)
+        else:
+            tree = query
+        steps = 0
+        def count(node):
+            nonlocal steps
+            if isinstance(node, ast.UnionQuery):
+                count(node.left)
+                count(node.right)
+            else:
+                steps += len(node.clauses)
+        count(tree)
+        return self.dialect.cost_of_steps(steps)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(faults={len(self.faults)})"
+
+
+class Neo4jSim(GraphDatabase):
+    """Simulated Neo4j: on-disk, strict types, full procedure support."""
+
+    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+        super().__init__(DIALECTS["neo4j"], faults_enabled=faults_enabled,
+                         gate_scale=gate_scale)
+
+
+class MemgraphSim(GraphDatabase):
+    """Simulated Memgraph: in-memory, lenient runtime types, no db.labels."""
+
+    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+        super().__init__(DIALECTS["memgraph"], faults_enabled=faults_enabled,
+                         gate_scale=gate_scale)
+
+
+class KuzuSim(GraphDatabase):
+    """Simulated Kùzu: schema-first, no relationship-uniqueness guarantee."""
+
+    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+        super().__init__(DIALECTS["kuzu"], faults_enabled=faults_enabled,
+                         gate_scale=gate_scale)
+
+
+class FalkorDBSim(GraphDatabase):
+    """Simulated FalkorDB: no relationship uniqueness, rounded float output."""
+
+    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+        super().__init__(DIALECTS["falkordb"], faults_enabled=faults_enabled,
+                         gate_scale=gate_scale)
+
+
+class ReferenceGDB(GraphDatabase):
+    """A fault-free engine with reference semantics (testing/validation)."""
+
+    def __init__(self, name: str = "reference"):
+        dialect = DIALECTS["neo4j"]
+        super().__init__(dialect, faults=[], faults_enabled=False)
+        self.name = name
+
+
+_ENGINE_CLASSES = {
+    "neo4j": Neo4jSim,
+    "memgraph": MemgraphSim,
+    "kuzu": KuzuSim,
+    "falkordb": FalkorDBSim,
+}
+
+
+def create_engine(
+    name: str, faults_enabled: bool = True, gate_scale: float = 1.0
+) -> GraphDatabase:
+    """Factory for the four simulated engines."""
+    try:
+        cls = _ENGINE_CLASSES[name]
+    except KeyError:
+        raise ValueError(f"unknown engine {name!r}") from None
+    return cls(faults_enabled=faults_enabled, gate_scale=gate_scale)

@@ -1,0 +1,17 @@
+"""Labeled property graph substrate: value model, graph model, generation."""
+
+from repro.graph.model import Node, Path, PropertyGraph, PropertyKey, Relationship
+from repro.graph.schema import GraphSchema, PropertySpec
+from repro.graph.generator import GeneratorConfig, GraphGenerator
+
+__all__ = [
+    "Node",
+    "Relationship",
+    "Path",
+    "PropertyKey",
+    "PropertyGraph",
+    "GraphSchema",
+    "PropertySpec",
+    "GraphGenerator",
+    "GeneratorConfig",
+]

@@ -1,0 +1,155 @@
+"""Random graph generation (paper §3.1, step 1).
+
+The paper initializes the GDB under test with random graphs of varying sizes
+("a maximum of 13 nodes and 500 relations"), assigning random labels and
+properties and creating indexes for them.  :class:`GraphGenerator` mirrors
+this: it draws a schema, then a graph whose elements carry random labels /
+types and random properties from the schema, plus a unique integer ``id``
+property — the paper's queries use ``n.id = ...`` predicates to pin nodes,
+which requires identifiers to be unique (§3.4).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.graph.model import PropertyGraph
+from repro.graph.schema import GraphSchema, PropertySpec
+
+__all__ = ["GeneratorConfig", "GraphGenerator", "random_value_for"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random graph generator.
+
+    Defaults follow the paper's experimental setup (§5.1): small graphs with
+    up to 13 nodes; relationship counts are drawn up to ``max_relationships``
+    but the effective count is also bounded by connectivity choices.
+    """
+
+    min_nodes: int = 4
+    max_nodes: int = 13
+    min_relationships: int = 4
+    max_relationships: int = 40
+    max_labels_per_node: int = 3
+    property_fill: float = 0.8  # probability each schema property is present
+    list_max_len: int = 3
+    string_max_len: int = 9
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1 or self.max_nodes < self.min_nodes:
+            raise ValueError("invalid node count bounds")
+        if self.min_relationships < 0 or self.max_relationships < self.min_relationships:
+            raise ValueError("invalid relationship count bounds")
+
+
+_ALPHABET = string.ascii_letters + string.digits
+
+
+def random_value_for(spec: PropertySpec, rng: random.Random, config: Optional[GeneratorConfig] = None) -> Any:
+    """Draw a random value of the declared property type."""
+    config = config or GeneratorConfig()
+    if spec.type == "INTEGER":
+        # Mix small ints (likely to collide, good for grouping) with large
+        # magnitudes like the paper's example literals (-1982025281).
+        if rng.random() < 0.5:
+            return rng.randint(-20, 20)
+        return rng.randint(-(2**31), 2**31 - 1)
+    if spec.type == "FLOAT":
+        return round(rng.uniform(-1000.0, 1000.0), 3)
+    if spec.type == "BOOLEAN":
+        return rng.random() < 0.5
+    if spec.type == "STRING":
+        length = rng.randint(1, config.string_max_len)
+        return "".join(rng.choice(_ALPHABET) for _ in range(length))
+    if spec.type == "LIST":
+        length = rng.randint(1, config.list_max_len)
+        return [
+            "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(1, 6)))
+            for _ in range(length)
+        ]
+    raise ValueError(f"unknown property type {spec.type!r}")
+
+
+class GraphGenerator:
+    """Seeded random generator for schemas and graphs."""
+
+    def __init__(self, seed: Optional[int] = None, config: Optional[GeneratorConfig] = None):
+        self._rng = random.Random(seed)
+        self.config = config or GeneratorConfig()
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def generate_schema(self) -> GraphSchema:
+        return GraphSchema.random(self._rng)
+
+    def generate(self, schema: Optional[GraphSchema] = None) -> PropertyGraph:
+        """Generate a random LPG conforming to *schema*.
+
+        Every node gets 1..``max_labels_per_node`` labels, a unique integer
+        ``id`` property, and a random subset of the schema's node properties;
+        relationships likewise.  The relationship structure is drawn with a
+        bias towards connectedness: the first ``n_nodes - 1`` relationships
+        form a random spanning tree so that path-based pattern synthesis has
+        material to work with, and the remainder are uniform random pairs
+        (self-loops allowed, multi-edges allowed — production GDBs allow both
+        and the paper's graphs with 13 nodes / 500 relations imply them).
+        """
+        cfg = self.config
+        rng = self._rng
+        schema = schema or self.generate_schema()
+        graph = PropertyGraph()
+
+        n_nodes = rng.randint(cfg.min_nodes, cfg.max_nodes)
+        max_rels = min(cfg.max_relationships, max(cfg.min_relationships, n_nodes * 4))
+        n_rels = rng.randint(cfg.min_relationships, max_rels)
+
+        for index in range(n_nodes):
+            n_labels = rng.randint(1, cfg.max_labels_per_node)
+            labels = rng.sample(schema.labels, min(n_labels, len(schema.labels)))
+            properties = {"id": index}
+            for spec in schema.node_properties:
+                if rng.random() < cfg.property_fill:
+                    properties[spec.name] = random_value_for(spec, rng, cfg)
+            graph.add_node(labels, properties)
+
+        node_ids = graph.node_ids()
+        rel_counter = 0
+
+        def add_random_rel(start: int, end: int) -> None:
+            nonlocal rel_counter
+            rel_type = rng.choice(schema.relationship_types)
+            properties = {"id": rel_counter}
+            for spec in schema.rel_properties:
+                if rng.random() < cfg.property_fill:
+                    properties[spec.name] = random_value_for(spec, rng, cfg)
+            graph.add_relationship(start, end, rel_type, properties)
+            rel_counter += 1
+
+        # Spanning-tree backbone for connectedness.
+        shuffled = list(node_ids)
+        rng.shuffle(shuffled)
+        for index in range(1, len(shuffled)):
+            if rel_counter >= n_rels:
+                break
+            anchor = rng.choice(shuffled[:index])
+            if rng.random() < 0.5:
+                add_random_rel(anchor, shuffled[index])
+            else:
+                add_random_rel(shuffled[index], anchor)
+
+        while rel_counter < n_rels:
+            add_random_rel(rng.choice(node_ids), rng.choice(node_ids))
+
+        return graph
+
+    def generate_with_schema(self) -> tuple:
+        """Convenience: draw a fresh (schema, graph) pair."""
+        schema = self.generate_schema()
+        return schema, self.generate(schema)

@@ -1,0 +1,319 @@
+"""Labeled property graph (LPG) model.
+
+The paper (§2.1) defines the data model as a graph ``G = <N, R>`` of nodes
+and relations, each carrying labels/types and properties (key-value pairs
+where the key is ``<element, name>``).  This module provides immutable-ish
+:class:`Node` and :class:`Relationship` records and a mutable
+:class:`PropertyGraph` container with the adjacency indexes the pattern
+matcher needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Node", "Relationship", "Path", "PropertyKey", "PropertyGraph"]
+
+
+@dataclass(frozen=True)
+class PropertyKey:
+    """A property key ``<element, name>`` per the paper's Definition in §2.1.
+
+    ``element_kind`` is ``"node"`` or ``"rel"``; together with ``element_id``
+    it identifies the graph element, and ``name`` is the property name.
+    """
+
+    element_kind: str
+    element_id: int
+    name: str
+
+    def __str__(self) -> str:
+        prefix = "N" if self.element_kind == "node" else "E"
+        return f"<{prefix}{self.element_id}.{self.name}>"
+
+
+class Node:
+    """A graph node with an id, a set of labels, and properties."""
+
+    __slots__ = ("id", "labels", "properties")
+
+    def __init__(
+        self,
+        node_id: int,
+        labels: Iterable[str] = (),
+        properties: Optional[Dict[str, Any]] = None,
+    ):
+        self.id = node_id
+        self.labels: FrozenSet[str] = frozenset(labels)
+        self.properties: Dict[str, Any] = dict(properties or {})
+
+    def __repr__(self) -> str:
+        labels = ":".join(sorted(self.labels))
+        return f"Node({self.id}{':' + labels if labels else ''})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("node", self.id))
+
+
+class Relationship:
+    """A directed relationship with an id, a type, endpoints, and properties."""
+
+    __slots__ = ("id", "type", "start", "end", "properties")
+
+    def __init__(
+        self,
+        rel_id: int,
+        rel_type: str,
+        start: int,
+        end: int,
+        properties: Optional[Dict[str, Any]] = None,
+    ):
+        self.id = rel_id
+        self.type = rel_type
+        self.start = start
+        self.end = end
+        self.properties: Dict[str, Any] = dict(properties or {})
+
+    def other_end(self, node_id: int) -> int:
+        """Return the endpoint opposite to *node_id*."""
+        return self.end if node_id == self.start else self.start
+
+    def __repr__(self) -> str:
+        return f"Rel({self.id}:{self.type} {self.start}->{self.end})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Relationship) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("rel", self.id))
+
+
+@dataclass(frozen=True)
+class Path:
+    """An alternating node/relationship sequence produced by path patterns."""
+
+    nodes: Tuple[Node, ...]
+    relationships: Tuple[Relationship, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.relationships) + 1:
+            raise ValueError(
+                "a path must have exactly one more node than relationships"
+            )
+
+    def element_ids(self) -> Tuple[Tuple[str, int], ...]:
+        """Interleaved (kind, id) pairs, usable as an equivalence key."""
+        out: List[Tuple[str, int]] = []
+        for index, node in enumerate(self.nodes):
+            out.append(("node", node.id))
+            if index < len(self.relationships):
+                out.append(("rel", self.relationships[index].id))
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self.relationships)
+
+
+class PropertyGraph:
+    """A labeled property graph with adjacency and label indexes.
+
+    The graph is the unit the paper's step 1 produces: nodes, relations,
+    labels and properties, plus indexes over labels (the paper creates
+    database indexes for the generated labels and properties; here the
+    indexes serve the same role of accelerating lookups in the matcher).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._relationships: Dict[int, Relationship] = {}
+        self._outgoing: Dict[int, List[int]] = {}
+        self._incoming: Dict[int, List[int]] = {}
+        self._label_index: Dict[str, set] = {}
+        self._type_index: Dict[str, set] = {}
+        self._next_node_id = 0
+        self._next_rel_id = 0
+
+    # -- construction -------------------------------------------------
+
+    def add_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: Optional[Dict[str, Any]] = None,
+        node_id: Optional[int] = None,
+    ) -> Node:
+        """Create a node and register it in all indexes."""
+        if node_id is None:
+            node_id = self._next_node_id
+        if node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node_id}")
+        self._next_node_id = max(self._next_node_id, node_id + 1)
+        node = Node(node_id, labels, properties)
+        self._nodes[node_id] = node
+        self._outgoing.setdefault(node_id, [])
+        self._incoming.setdefault(node_id, [])
+        for label in node.labels:
+            self._label_index.setdefault(label, set()).add(node_id)
+        return node
+
+    def add_relationship(
+        self,
+        start: int,
+        end: int,
+        rel_type: str,
+        properties: Optional[Dict[str, Any]] = None,
+        rel_id: Optional[int] = None,
+    ) -> Relationship:
+        """Create a directed relationship between two existing nodes."""
+        if start not in self._nodes or end not in self._nodes:
+            raise KeyError("both endpoints must exist before adding a relationship")
+        if rel_id is None:
+            rel_id = self._next_rel_id
+        if rel_id in self._relationships:
+            raise ValueError(f"duplicate relationship id {rel_id}")
+        self._next_rel_id = max(self._next_rel_id, rel_id + 1)
+        rel = Relationship(rel_id, rel_type, start, end, properties)
+        self._relationships[rel_id] = rel
+        self._outgoing[start].append(rel_id)
+        self._incoming[end].append(rel_id)
+        self._type_index.setdefault(rel_type, set()).add(rel_id)
+        return rel
+
+    def remove_relationship(self, rel_id: int) -> None:
+        """Delete a relationship (used by graph-update tests)."""
+        rel = self._relationships.pop(rel_id)
+        self._outgoing[rel.start].remove(rel_id)
+        self._incoming[rel.end].remove(rel_id)
+        self._type_index[rel.type].discard(rel_id)
+
+    def remove_node(self, node_id: int) -> None:
+        """Delete a node; fails if relationships are still attached."""
+        if self._outgoing.get(node_id) or self._incoming.get(node_id):
+            raise ValueError(
+                f"node {node_id} still has relationships (use detach_delete)"
+            )
+        node = self._nodes.pop(node_id)
+        for label in node.labels:
+            self._label_index[label].discard(node_id)
+        self._outgoing.pop(node_id, None)
+        self._incoming.pop(node_id, None)
+
+    def detach_delete_node(self, node_id: int) -> None:
+        """Delete a node together with all attached relationships."""
+        for rel_id in list(self._outgoing.get(node_id, ())):
+            self.remove_relationship(rel_id)
+        for rel_id in list(self._incoming.get(node_id, ())):
+            self.remove_relationship(rel_id)
+        self.remove_node(node_id)
+
+    # -- lookup --------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def relationship(self, rel_id: int) -> Relationship:
+        return self._relationships[rel_id]
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def relationships(self) -> Iterator[Relationship]:
+        return iter(self._relationships.values())
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def relationship_ids(self) -> List[int]:
+        return list(self._relationships)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def relationship_count(self) -> int:
+        return len(self._relationships)
+
+    def nodes_with_label(self, label: str) -> List[Node]:
+        """Label-index lookup (the analogue of a database label index)."""
+        return [self._nodes[nid] for nid in self._label_index.get(label, ())]
+
+    def relationships_with_type(self, rel_type: str) -> List[Relationship]:
+        return [
+            self._relationships[rid] for rid in self._type_index.get(rel_type, ())
+        ]
+
+    def labels(self) -> List[str]:
+        """All labels in use, sorted (mirrors ``CALL db.labels()``)."""
+        return sorted(label for label, ids in self._label_index.items() if ids)
+
+    def relationship_types(self) -> List[str]:
+        return sorted(t for t, ids in self._type_index.items() if ids)
+
+    # -- traversal -----------------------------------------------------
+
+    def outgoing(self, node_id: int) -> List[Relationship]:
+        return [self._relationships[rid] for rid in self._outgoing.get(node_id, ())]
+
+    def incoming(self, node_id: int) -> List[Relationship]:
+        return [self._relationships[rid] for rid in self._incoming.get(node_id, ())]
+
+    def touching(self, node_id: int) -> List[Relationship]:
+        """All relationships attached to *node_id*, either direction."""
+        return self.outgoing(node_id) + self.incoming(node_id)
+
+    def degree(self, node_id: int) -> int:
+        return len(self._outgoing.get(node_id, ())) + len(
+            self._incoming.get(node_id, ())
+        )
+
+    def neighbours(self, node_id: int) -> List[int]:
+        """Distinct neighbouring node ids (either direction)."""
+        seen: Dict[int, None] = {}
+        for rel in self.touching(node_id):
+            seen.setdefault(rel.other_end(node_id), None)
+        return list(seen)
+
+    # -- properties ----------------------------------------------------
+
+    def property_value(self, key: PropertyKey) -> Any:
+        """Resolve a :class:`PropertyKey` to its current value."""
+        if key.element_kind == "node":
+            return self._nodes[key.element_id].properties.get(key.name)
+        return self._relationships[key.element_id].properties.get(key.name)
+
+    def all_property_keys(self) -> List[PropertyKey]:
+        """Enumerate every property in the graph as a :class:`PropertyKey`."""
+        keys: List[PropertyKey] = []
+        for node in self._nodes.values():
+            keys.extend(
+                PropertyKey("node", node.id, name) for name in node.properties
+            )
+        for rel in self._relationships.values():
+            keys.extend(PropertyKey("rel", rel.id, name) for name in rel.properties)
+        return keys
+
+    # -- misc ------------------------------------------------------------
+
+    def copy(self) -> "PropertyGraph":
+        """Deep-enough copy: new containers, shared immutable values."""
+        clone = PropertyGraph()
+        for node in self._nodes.values():
+            clone.add_node(node.labels, dict(node.properties), node_id=node.id)
+        for rel in self._relationships.values():
+            clone.add_relationship(
+                rel.start, rel.end, rel.type, dict(rel.properties), rel_id=rel.id
+            )
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(nodes={self.node_count}, "
+            f"relationships={self.relationship_count})"
+        )

@@ -1,0 +1,96 @@
+"""Graph schema description.
+
+Two consumers need a schema:
+
+* the random graph generator draws labels, relationship types and property
+  names/types from a schema so that generated graphs are self-consistent and
+  queries over them type-check;
+* the Kùzu simulator (like the real Kùzu, §4 of the paper) requires the
+  schema *before* a graph can be loaded, because Kùzu is a structured
+  (table-backed) graph database.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["PropertyType", "PropertySpec", "GraphSchema"]
+
+
+# The property value types the paper's generator draws from.  ``LIST`` holds
+# homogeneous lists of strings (used by the UNWIND machinery).
+PropertyType = str
+PROPERTY_TYPES: Sequence[PropertyType] = ("INTEGER", "FLOAT", "STRING", "BOOLEAN", "LIST")
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """A property slot: its name and value type."""
+
+    name: str
+    type: PropertyType
+
+    def __post_init__(self) -> None:
+        if self.type not in PROPERTY_TYPES:
+            raise ValueError(f"unknown property type {self.type!r}")
+
+
+@dataclass
+class GraphSchema:
+    """Labels, relationship types, and their property slots.
+
+    ``node_properties`` / ``rel_properties`` are drawn for every element
+    regardless of its label — the paper's generated graphs attach random
+    properties from a shared pool (property names like ``k85`` appear on both
+    nodes and relationships in its example queries).
+    """
+
+    labels: List[str] = field(default_factory=list)
+    relationship_types: List[str] = field(default_factory=list)
+    node_properties: List[PropertySpec] = field(default_factory=list)
+    rel_properties: List[PropertySpec] = field(default_factory=list)
+
+    def property_type(self, name: str) -> Optional[PropertyType]:
+        """Look up the declared type of a property name, if any."""
+        for spec in self.node_properties + self.rel_properties:
+            if spec.name == name:
+                return spec.type
+        return None
+
+    @classmethod
+    def random(
+        cls,
+        rng: random.Random,
+        n_labels: int = 12,
+        n_rel_types: int = 4,
+        n_node_properties: int = 8,
+        n_rel_properties: int = 6,
+    ) -> "GraphSchema":
+        """Draw a random schema with the paper's naming style (L0.., T0.., k0..)."""
+        labels = [f"L{i}" for i in range(n_labels)]
+        rel_types = [f"T{i}" for i in range(n_rel_types)]
+        counter = 0
+        node_props: List[PropertySpec] = []
+        for _ in range(n_node_properties):
+            node_props.append(
+                PropertySpec(f"k{counter}", rng.choice(PROPERTY_TYPES))
+            )
+            counter += 1
+        rel_props: List[PropertySpec] = []
+        for _ in range(n_rel_properties):
+            rel_props.append(
+                PropertySpec(f"k{counter}", rng.choice(PROPERTY_TYPES))
+            )
+            counter += 1
+        return cls(labels, rel_types, node_props, rel_props)
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot (what KùzuSim consumes at load time)."""
+        return {
+            "labels": list(self.labels),
+            "relationship_types": list(self.relationship_types),
+            "node_properties": [(p.name, p.type) for p in self.node_properties],
+            "rel_properties": [(p.name, p.type) for p in self.rel_properties],
+        }

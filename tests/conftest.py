@@ -1,0 +1,14 @@
+"""Shared test configuration.
+
+Registers a conservative hypothesis profile so the suite stays fast and
+deterministic in CI-like environments (no deadline flakes on slow machines).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

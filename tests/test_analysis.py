@@ -1,0 +1,131 @@
+"""Tests for the query complexity analyzer (§5.4.2 metrics)."""
+
+import pytest
+
+from repro.cypher.analysis import analyze, clause_histogram, clause_types_in
+from repro.cypher.analysis import functions_in
+from repro.cypher.parser import parse_query
+
+
+class TestPatternCount:
+    def test_single_pattern(self):
+        assert analyze(parse_query("MATCH (n) RETURN n")).patterns == 1
+
+    def test_comma_patterns_counted(self):
+        metrics = analyze(parse_query("MATCH (a), (b)-[r]->(c) RETURN a"))
+        assert metrics.patterns == 2
+
+    def test_patterns_across_clauses(self):
+        metrics = analyze(
+            parse_query("MATCH (a) MATCH (b), (c) OPTIONAL MATCH (d) RETURN a")
+        )
+        assert metrics.patterns == 4
+
+    def test_no_patterns(self):
+        assert analyze(parse_query("RETURN 1 AS x")).patterns == 0
+
+
+class TestExpressionDepth:
+    def test_literal_depth(self):
+        assert analyze(parse_query("RETURN 1 AS x")).expression_depth == 1
+
+    def test_nested_depth(self):
+        metrics = analyze(parse_query("RETURN abs(1 + 2 * 3) AS x"))
+        assert metrics.expression_depth == 4
+
+    def test_where_counts(self):
+        shallow = analyze(parse_query("MATCH (n) WHERE n.x = 1 RETURN n"))
+        deep = analyze(
+            parse_query("MATCH (n) WHERE abs(n.x + abs(n.y)) = 1 RETURN n")
+        )
+        assert deep.expression_depth > shallow.expression_depth
+
+
+class TestClauseCount:
+    def test_counts_main_clauses(self):
+        metrics = analyze(
+            parse_query("MATCH (n) WITH n UNWIND [1] AS x RETURN x")
+        )
+        assert metrics.clauses == 4
+
+    def test_union_counts_both_sides(self):
+        metrics = analyze(parse_query("RETURN 1 AS x UNION RETURN 2 AS x"))
+        assert metrics.clauses == 2
+
+
+class TestDependencies:
+    def test_no_cross_clause_refs(self):
+        assert analyze(parse_query("MATCH (n) RETURN 1 AS x")).dependencies == 0
+
+    def test_return_reference_counts(self):
+        assert analyze(parse_query("MATCH (n) RETURN n")).dependencies == 1
+
+    def test_reference_in_later_match(self):
+        metrics = analyze(parse_query("MATCH (n) MATCH (n)-[r]->(m) RETURN m"))
+        # n reused in clause 2 (+1), m used in RETURN (+1).
+        assert metrics.dependencies == 2
+
+    def test_figure1_has_many_dependencies(self):
+        text = (
+            "MATCH (n2)<-[r1]->(n0), (n3)-[r2]->(n4)-[r3]->(n5) WHERE r1.id=13 "
+            "UNWIND [n5.k2 <> r3.id, false] as a1 "
+            "WITH DISTINCT n2, r3, n3, n4, n5, endNode(r1) as a2, n0 "
+            "MATCH (n2)<-[r4:t10]->(n0), (n3)-[r5]->(n4)-[r6]->(n5) "
+            "WHERE ((r6.k85)+(n2.k11)) ENDS WITH 'q' "
+            "RETURN n2.id as a3, r6.id as a4"
+        )
+        metrics = analyze(parse_query(text))
+        assert metrics.dependencies >= 15
+
+    def test_within_clause_refs_not_counted(self):
+        # Both uses of n are in the same MATCH clause.
+        metrics = analyze(parse_query("MATCH (n)-[r]->(n) RETURN 1 AS x"))
+        assert metrics.dependencies == 0
+
+
+class TestClauseTypes:
+    def test_subclauses_reported(self):
+        names = clause_types_in(
+            parse_query(
+                "MATCH (n) WHERE n.x = 1 WITH DISTINCT n.x AS v ORDER BY v "
+                "SKIP 1 LIMIT 2 WHERE v > 0 RETURN v"
+            )
+        )
+        assert names.count("WHERE") == 2
+        assert "DISTINCT" in names
+        assert "ORDER BY" in names
+        assert "SKIP" in names and "LIMIT" in names
+
+    def test_optional_match_distinguished(self):
+        names = clause_types_in(parse_query("OPTIONAL MATCH (n) RETURN n"))
+        assert "OPTIONAL MATCH" in names
+        assert "MATCH" not in names
+
+    def test_union_reported(self):
+        names = clause_types_in(
+            parse_query("RETURN 1 AS x UNION RETURN 2 AS x")
+        )
+        assert "UNION" in names
+
+    def test_histogram_aggregates(self):
+        queries = [
+            parse_query("MATCH (n) RETURN n"),
+            parse_query("MATCH (n) MATCH (m) RETURN n"),
+        ]
+        histogram = clause_histogram(queries)
+        assert histogram["MATCH"] == 3
+        assert histogram["RETURN"] == 2
+
+
+class TestFunctionsIn:
+    def test_collects_nested_functions(self):
+        names = functions_in(
+            parse_query("RETURN abs(toFloat(left('ab', 1))) AS x")
+        )
+        assert names == ["abs", "tofloat", "left"]
+
+    def test_functions_in_where(self):
+        names = functions_in(
+            parse_query("MATCH (n) WHERE size(n.x) = 1 RETURN n")
+        )
+        assert "size" in names

@@ -1,0 +1,36 @@
+"""Fast CLI coverage for the figure/compare paths (tiny budgets)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompareCommand:
+    def test_compare_runs_all_tools(self, capsys):
+        assert main(["compare", "--engine", "falkordb", "--minutes", "0.2"]) == 0
+        out = capsys.readouterr().out
+        for tool in ("GQS", "GDsmith", "GDBMeter", "Gamera", "GQT", "GRev"):
+            assert tool in out
+
+    def test_compare_marks_unsupported(self, capsys):
+        assert main(["compare", "--engine", "kuzu", "--minutes", "0.1"]) == 0
+        out = capsys.readouterr().out
+        # GDsmith and GRev don't support Kùzu.
+        lines = [line for line in out.splitlines() if "GDsmith" in line]
+        assert lines and "-" in lines[0]
+
+
+class TestSynthesizeDeterminism:
+    def test_same_seed_same_output(self, capsys):
+        main(["synthesize", "--seed", "11"])
+        first = capsys.readouterr().out
+        main(["synthesize", "--seed", "11"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_dialect_affects_query(self, capsys):
+        main(["synthesize", "--seed", "11", "--engine", "neo4j"])
+        neo = capsys.readouterr().out
+        main(["synthesize", "--seed", "11", "--engine", "kuzu"])
+        kuzu = capsys.readouterr().out
+        assert neo != kuzu  # uniqueness predicates / CALL support differ

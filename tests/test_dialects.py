@@ -1,0 +1,105 @@
+"""Tests for the dialect descriptions and the GQS dialect handling (§4)."""
+
+import math
+import random
+
+import pytest
+
+from repro.gdb.dialects import DIALECTS, FALKORDB, KUZU, MEMGRAPH, NEO4J
+
+
+class TestDialectMetadata:
+    def test_table2_facts(self):
+        """The Table 2 constants the paper reports."""
+        assert NEO4J.github_stars == "13.2K"
+        assert NEO4J.initial_release == 2007
+        assert NEO4J.loc == "1.4M"
+        assert MEMGRAPH.tested_versions == ("2.13", "2.14.1", "2.15", "2.17")
+        assert KUZU.loc == "11.9M"
+        assert FALKORDB.tested_versions == ("4.2.0",)
+
+    def test_uniqueness_deviation(self):
+        """Kùzu and FalkorDB deviate from relationship uniqueness (§4)."""
+        assert NEO4J.enforces_rel_uniqueness
+        assert MEMGRAPH.enforces_rel_uniqueness
+        assert not KUZU.enforces_rel_uniqueness
+        assert not FALKORDB.enforces_rel_uniqueness
+
+    def test_procedure_support(self):
+        """db.labels() exists in Neo4j/FalkorDB but not Kùzu/Memgraph (§4)."""
+        assert NEO4J.supports_call_procedures
+        assert FALKORDB.supports_call_procedures
+        assert not KUZU.supports_call_procedures
+        assert not MEMGRAPH.supports_call_procedures
+
+    def test_schema_requirement(self):
+        assert KUZU.requires_schema
+        assert not NEO4J.requires_schema
+
+    def test_registry(self):
+        assert set(DIALECTS) == {"neo4j", "memgraph", "kuzu", "falkordb"}
+
+
+class TestCostModel:
+    def test_monotone_in_steps(self):
+        for dialect in DIALECTS.values():
+            costs = [dialect.cost_of_steps(s) for s in range(1, 12)]
+            assert costs == sorted(costs)
+
+    def test_six_point_six_ratio(self):
+        """§5.3: nine-step queries are 6.6x slower than three-step ones."""
+        for dialect in DIALECTS.values():
+            ratio = dialect.cost_of_steps(9) / dialect.cost_of_steps(3)
+            assert ratio == pytest.approx(6.6)
+
+    def test_absolute_throughput_anchors(self):
+        """§5.3: Memgraph ~6 q/s at 9 steps, Neo4j ~3 q/s (on-disk I/O)."""
+        assert 1.0 / MEMGRAPH.cost_of_steps(9) == pytest.approx(6.0)
+        assert 1.0 / NEO4J.cost_of_steps(9) == pytest.approx(3.0)
+        # In-memory engines outpace the on-disk one everywhere.
+        for steps in (1, 5, 9):
+            assert MEMGRAPH.cost_of_steps(steps) < NEO4J.cost_of_steps(steps)
+
+    def test_minimum_one_step(self):
+        for dialect in DIALECTS.values():
+            assert dialect.cost_of_steps(0) == dialect.cost_of_steps(1)
+
+
+class TestDialectAwareSynthesis:
+    def test_uniqueness_predicates_only_for_deviating_dialects(self):
+        from repro.core.runner import synthesizer_config_for
+        from repro.gdb import create_engine
+
+        for name in ("kuzu", "falkordb"):
+            config = synthesizer_config_for(create_engine(name))
+            assert config.needs_uniqueness_predicates
+        for name in ("neo4j", "memgraph"):
+            config = synthesizer_config_for(create_engine(name))
+            assert not config.needs_uniqueness_predicates
+
+    def test_no_call_clauses_for_unsupporting_dialects(self):
+        """GQS never sends CALL to engines without procedure support."""
+        from repro.core import QuerySynthesizer
+        from repro.core.runner import synthesizer_config_for
+        from repro.cypher import ast
+        from repro.gdb import create_engine
+        from repro.graph import GraphGenerator
+
+        config = synthesizer_config_for(create_engine("memgraph"))
+        for seed in range(25):
+            schema, graph = GraphGenerator(seed=seed).generate_with_schema()
+            synthesizer = QuerySynthesizer(
+                graph, rng=random.Random(seed), config=config
+            )
+            result = synthesizer.synthesize()
+
+            def clauses(query):
+                if isinstance(query, ast.UnionQuery):
+                    yield from clauses(query.left)
+                    yield from clauses(query.right)
+                else:
+                    yield from query.clauses
+
+            assert not any(
+                isinstance(clause, ast.Call) for clause in clauses(result.query)
+            )

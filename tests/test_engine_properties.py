@@ -1,0 +1,185 @@
+"""Metamorphic self-tests of the reference engine.
+
+The baseline oracles are only sound if their relations hold on a *correct*
+engine — so the reference executor must satisfy every one of them.  These
+property tests drive randomly generated queries (all six profiles) through
+the relations over random graphs; a failure here would mean our definition
+of "correct" is itself broken.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    GDBMeterTester,
+    GDsmithTester,
+    GRevTester,
+)
+from repro.baselines.common import RandomQueryGenerator
+from repro.baselines.gamera import relax_one_direction
+from repro.baselines.gdbmeter import partition_query
+from repro.baselines.gqt import add_random_label, add_tautology, drop_where
+from repro.baselines.grev import (
+    double_negate_where,
+    permute_patterns,
+    reverse_patterns,
+)
+from repro.engine.binding import ResultSet
+from repro.engine.errors import CypherError
+from repro.engine.executor import Executor
+from repro.graph.generator import GraphGenerator
+
+
+def _run(executor, query):
+    try:
+        return executor.execute(query)
+    except CypherError:
+        return None
+
+
+def _workload(seed, profile):
+    graph = GraphGenerator(seed=seed).generate()
+    executor = Executor(graph)
+    generator = RandomQueryGenerator(graph, random.Random(seed), profile)
+    return graph, executor, generator
+
+
+class TestTLPSelfConsistency:
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_union_equals_true(self, seed):
+        _graph, executor, generator = _workload(seed, GDBMeterTester.profile)
+        query = generator.generate()
+        partitions = partition_query(query)
+        if partitions is None:
+            return
+        results = [_run(executor, part) for part in partitions]
+        if any(result is None for result in results):
+            return
+        union = ResultSet.union_all(results[:3])
+        assert union.same_rows(results[3])
+
+
+class TestEquivalentRewrites:
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_pattern_reversal_is_equivalent(self, seed):
+        _graph, executor, generator = _workload(seed, GRevTester.profile)
+        query = generator.generate()
+        variant = reverse_patterns(query)
+        if variant is None:
+            return
+        base, other = _run(executor, query), _run(executor, variant)
+        if base is None or other is None:
+            assert base is None and other is None
+            return
+        assert base.same_rows(other)
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_pattern_permutation_is_equivalent(self, seed):
+        _graph, executor, generator = _workload(seed, GRevTester.profile)
+        query = generator.generate()
+        variant = permute_patterns(query, random.Random(seed + 1))
+        if variant is None:
+            return
+        base, other = _run(executor, query), _run(executor, variant)
+        if base is None or other is None:
+            return
+        assert base.same_rows(other)
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation_is_equivalent(self, seed):
+        _graph, executor, generator = _workload(seed, GRevTester.profile)
+        query = generator.generate()
+        variant = double_negate_where(query)
+        if variant is None:
+            return
+        base, other = _run(executor, query), _run(executor, variant)
+        if base is None or other is None:
+            return
+        assert base.same_rows(other)
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_tautology_is_equivalent(self, seed):
+        _graph, executor, generator = _workload(seed, GDsmithTester.profile)
+        query = generator.generate()
+        variant = add_tautology(query)
+        if variant is None:
+            return
+        base, other = _run(executor, query), _run(executor, variant)
+        if base is None or other is None:
+            return
+        assert base.same_rows(other)
+
+
+class TestMonotonicRelations:
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_drop_where_grows_result(self, seed):
+        _graph, executor, generator = _workload(seed, GDsmithTester.profile)
+        query = generator.generate()
+        variant = drop_where(query)
+        if variant is None:
+            return
+        base, other = _run(executor, query), _run(executor, variant)
+        if base is None or other is None:
+            return
+        assert base.is_sub_bag_of(other)
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_label_addition_shrinks_result(self, seed):
+        graph, executor, generator = _workload(seed, GDsmithTester.profile)
+        query = generator.generate()
+        variant = add_random_label(query, graph, random.Random(seed + 2))
+        if variant is None:
+            return
+        base, other = _run(executor, query), _run(executor, variant)
+        if base is None or other is None:
+            return
+        assert other.is_sub_bag_of(base)
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_direction_relaxation_grows_result(self, seed):
+        _graph, executor, generator = _workload(seed, GRevTester.profile)
+        query = generator.generate()
+        variant = relax_one_direction(query)
+        if variant is None:
+            return
+        base, other = _run(executor, query), _run(executor, variant)
+        if base is None or other is None:
+            return
+        assert base.is_sub_bag_of(other)
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_execution_is_deterministic(self, seed):
+        _graph, executor, generator = _workload(seed, GDsmithTester.profile)
+        query = generator.generate()
+        first, second = _run(executor, query), _run(executor, query)
+        if first is None:
+            assert second is None
+            return
+        assert first.rows == second.rows
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_graph_copy_preserves_results(self, seed):
+        graph, executor, generator = _workload(seed, GDBMeterTester.profile)
+        query = generator.generate()
+        clone_executor = Executor(graph.copy())
+        first = _run(executor, query)
+        second = _run(clone_executor, query)
+        if first is None:
+            assert second is None
+            return
+        assert first.same_rows(second)

@@ -1,0 +1,114 @@
+"""Property tests: the evaluator agrees with the value-model primitives."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import ast
+from repro.engine.errors import CypherError
+from repro.engine.evaluator import Evaluator
+from repro.graph import values as V
+from repro.graph.model import PropertyGraph
+
+
+EVALUATOR = Evaluator(PropertyGraph())
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=5),
+    st.lists(st.integers(min_value=-9, max_value=9), max_size=3),
+)
+
+
+def lit(value):
+    if isinstance(value, list):
+        return ast.ListLiteral(tuple(lit(v) for v in value))
+    return ast.Literal(value)
+
+
+class TestOperatorsMatchValueModel:
+    @given(scalars, scalars)
+    @settings(max_examples=300, deadline=None)
+    def test_equality_operator(self, a, b):
+        result = EVALUATOR.evaluate(ast.Binary("=", lit(a), lit(b)), {})
+        assert result == V.ternary_equals(a, b)
+
+    @given(scalars, scalars)
+    @settings(max_examples=300, deadline=None)
+    def test_less_than_operator(self, a, b):
+        result = EVALUATOR.evaluate(ast.Binary("<", lit(a), lit(b)), {})
+        verdict = V.ternary_compare(a, b)
+        expected = None if verdict is None else verdict < 0
+        assert result == expected
+
+    @given(st.sampled_from([True, False, None]),
+           st.sampled_from([True, False, None]))
+    def test_connectives(self, a, b):
+        for op, fn in [("AND", V.ternary_and), ("OR", V.ternary_or),
+                       ("XOR", V.ternary_xor)]:
+            result = EVALUATOR.evaluate(ast.Binary(op, lit(a), lit(b)), {})
+            assert result == fn(a, b)
+
+    @given(scalars, scalars)
+    @settings(max_examples=200, deadline=None)
+    def test_inequality_is_not_equality(self, a, b):
+        eq = EVALUATOR.evaluate(ast.Binary("=", lit(a), lit(b)), {})
+        neq = EVALUATOR.evaluate(ast.Binary("<>", lit(a), lit(b)), {})
+        assert neq == V.ternary_not(eq)
+
+
+class TestArithmeticProperties:
+    small_ints = st.integers(min_value=-10**6, max_value=10**6)
+
+    @given(small_ints, small_ints)
+    def test_addition_commutative(self, a, b):
+        left = EVALUATOR.evaluate(ast.Binary("+", lit(a), lit(b)), {})
+        right = EVALUATOR.evaluate(ast.Binary("+", lit(b), lit(a)), {})
+        assert left == right == a + b
+
+    @given(small_ints, small_ints.filter(lambda x: x != 0))
+    def test_division_modulo_identity(self, a, b):
+        """Cypher integer semantics: a == (a / b) * b + (a % b)."""
+        quotient = EVALUATOR.evaluate(ast.Binary("/", lit(a), lit(b)), {})
+        remainder = EVALUATOR.evaluate(ast.Binary("%", lit(a), lit(b)), {})
+        assert quotient * b + remainder == a
+
+    @given(small_ints, small_ints.filter(lambda x: x != 0))
+    def test_modulo_sign_follows_dividend(self, a, b):
+        remainder = EVALUATOR.evaluate(ast.Binary("%", lit(a), lit(b)), {})
+        if remainder != 0:
+            assert (remainder > 0) == (a > 0)
+
+
+class TestMembershipAgainstModel:
+    @given(scalars, st.lists(scalars, max_size=4))
+    @settings(max_examples=200, deadline=None)
+    def test_in_operator_definition(self, needle, haystack):
+        result = EVALUATOR.evaluate(
+            ast.Binary("IN", lit(needle), lit(haystack)), {}
+        )
+        # Reference definition: true if any element definitely equals, null
+        # if undecided by nulls, false otherwise (empty list is false).
+        verdicts = [V.ternary_equals(needle, item) for item in haystack]
+        if True in verdicts:
+            expected = True
+        elif None in verdicts or (needle is None and haystack):
+            expected = None
+        else:
+            expected = False
+        assert result == expected
+
+
+class TestErrorDiscipline:
+    @given(scalars, scalars, st.sampled_from(["+", "-", "*", "/", "%", "^"]))
+    @settings(max_examples=300, deadline=None)
+    def test_arithmetic_total_or_cyphererror(self, a, b, op):
+        try:
+            EVALUATOR.evaluate(ast.Binary(op, lit(a), lit(b)), {})
+        except CypherError:
+            pass  # type errors and division by zero are legitimate

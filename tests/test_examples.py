@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(path, *args):
+    return subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+def test_quickstart():
+    proc = run_example(
+        next(p for p in EXAMPLES if p.name == "quickstart.py"), "7"
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "synthesized query" in proc.stdout
+    assert "ground truth" in proc.stdout
+
+
+def test_movie_graph():
+    proc = run_example(next(p for p in EXAMPLES if p.name == "movie_graph.py"))
+    assert proc.returncode == 0, proc.stderr
+    assert "Notebook" in proc.stdout
+    assert "same expected result set" in proc.stdout
+
+
+def test_bug_hunt():
+    proc = run_example(
+        next(p for p in EXAMPLES if p.name == "bug_hunt.py"),
+        "falkordb", "1.5",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "distinct bugs" in proc.stdout
+    assert "0 false positives" in proc.stdout
+
+
+def test_compare_testers():
+    proc = run_example(
+        next(p for p in EXAMPLES if p.name == "compare_testers.py"),
+        "falkordb", "0.6",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "GQS" in proc.stdout
+    assert "GDsmith" in proc.stdout

@@ -1,0 +1,306 @@
+"""Tests for the reference clause executor."""
+
+import pytest
+
+from repro.cypher.parser import parse_query
+from repro.engine.binding import BindingTable, ResultSet
+from repro.engine.errors import CypherRuntimeError, CypherSyntaxError
+from repro.engine.executor import Executor
+from repro.graph.model import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    alice = g.add_node(["USER"], {"name": "Alice", "id": 0, "age": 30})
+    bob = g.add_node(["USER"], {"name": "Bob", "id": 1, "age": 25})
+    m1 = g.add_node(["MOVIE"], {"name": "Longlegs", "id": 2, "year": 2024,
+                                "genre": ["Horror"]})
+    m2 = g.add_node(["MOVIE", "CLASSIC"], {"name": "Notebook", "id": 3,
+                                           "year": 2004,
+                                           "genre": ["Drama", "Romance"]})
+    g.add_relationship(alice.id, m1.id, "LIKE", {"rating": 7, "id": 0})
+    g.add_relationship(alice.id, m2.id, "LIKE", {"rating": 10, "id": 1})
+    g.add_relationship(bob.id, m2.id, "LIKE", {"rating": 9, "id": 2})
+    g.add_relationship(bob.id, alice.id, "KNOWS", {"id": 3})
+    return g
+
+
+@pytest.fixture
+def ex(graph):
+    return Executor(graph)
+
+
+def run(ex, text):
+    return ex.execute(parse_query(text))
+
+
+class TestMatch:
+    def test_all_nodes(self, ex):
+        assert len(run(ex, "MATCH (n) RETURN n")) == 4
+
+    def test_label_filter(self, ex):
+        assert len(run(ex, "MATCH (n:MOVIE) RETURN n")) == 2
+        assert len(run(ex, "MATCH (n:MOVIE:CLASSIC) RETURN n")) == 1
+
+    def test_directed_pattern(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) RETURN u.name, m.name")
+        assert len(rows) == 3
+
+    def test_reverse_direction_equivalent(self, ex):
+        fwd = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) RETURN u.name, m.name")
+        rev = run(ex, "MATCH (m)<-[r:LIKE]-(u:USER) RETURN u.name, m.name")
+        assert fwd.same_rows(rev)
+
+    def test_undirected(self, ex):
+        rows = run(ex, "MATCH (a {name: 'Alice'})-[r]-(b) RETURN b.name")
+        # Two LIKEs out plus KNOWS in.
+        assert sorted(r[0] for r in rows.rows) == ["Bob", "Longlegs", "Notebook"]
+
+    def test_inline_properties(self, ex):
+        rows = run(ex, "MATCH (n {id: 2}) RETURN n.name")
+        assert rows.rows == [("Longlegs",)]
+
+    def test_where_filter(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) WHERE r.rating >= 9 "
+                       "RETURN m.name, r.rating")
+        assert len(rows) == 2
+
+    def test_where_null_is_filtered(self, ex):
+        rows = run(ex, "MATCH (n) WHERE n.rating > 5 RETURN n")
+        assert len(rows) == 0  # nodes have no rating; null predicate drops
+
+    def test_relationship_uniqueness_enforced(self, ex):
+        # A two-hop pattern cannot reuse the same relationship.
+        rows = run(ex, "MATCH (a)-[r1]-(b)-[r2]-(a2) WHERE id(a) = 0 AND id(a2) = 0 "
+                       "RETURN r1, r2")
+        for r1, r2 in rows.rows:
+            assert r1.id != r2.id
+
+    def test_relationship_uniqueness_disabled(self, graph):
+        loose = Executor(graph, enforce_rel_uniqueness=False)
+        strict = Executor(graph)
+        q = "MATCH (a)-[r1]-(b)-[r2]-(c) RETURN r1, r2"
+        assert len(loose.execute(parse_query(q))) > len(strict.execute(parse_query(q)))
+
+    def test_multiple_patterns_cartesian(self, ex):
+        rows = run(ex, "MATCH (u:USER), (m:MOVIE) RETURN u.name, m.name")
+        assert len(rows) == 4
+
+    def test_multiple_patterns_join_on_shared_variable(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r1:LIKE]->(m), (u)-[k:KNOWS]->(other) "
+                       "RETURN u.name, m.name")
+        # Only Bob has KNOWS; Bob likes one movie.
+        assert rows.rows == [("Bob", "Notebook")]
+
+    def test_bound_variable_rematch(self, ex):
+        rows = run(ex, "MATCH (u {name: 'Alice'}) MATCH (u)-[r:LIKE]->(m) "
+                       "RETURN m.name")
+        assert len(rows) == 2
+
+
+class TestOptionalMatch:
+    def test_fills_nulls(self, ex):
+        rows = run(ex, "MATCH (m:MOVIE) OPTIONAL MATCH (m)-[r:KNOWS]->(x) "
+                       "RETURN m.name, x")
+        assert len(rows) == 2
+        assert all(row[1] is None for row in rows.rows)
+
+    def test_optional_with_where(self, ex):
+        rows = run(ex, "MATCH (u:USER) OPTIONAL MATCH (u)-[r:LIKE]->(m) "
+                       "WHERE r.rating > 9 RETURN u.name, m.name")
+        as_dict = dict(rows.rows)
+        assert as_dict["Alice"] == "Notebook"
+        assert as_dict["Bob"] is None
+
+    def test_first_clause_optional(self, ex):
+        rows = run(ex, "OPTIONAL MATCH (n:GHOST) RETURN n")
+        assert rows.rows == [(None,)]
+
+
+class TestUnwind:
+    def test_expands_rows(self, ex):
+        rows = run(ex, "UNWIND [1, 2, 3] AS x RETURN x")
+        assert [r[0] for r in rows.rows] == [1, 2, 3]
+
+    def test_null_produces_nothing(self, ex):
+        assert len(run(ex, "UNWIND null AS x RETURN x")) == 0
+
+    def test_empty_list_produces_nothing(self, ex):
+        assert len(run(ex, "UNWIND [] AS x RETURN x")) == 0
+
+    def test_scalar_wraps(self, ex):
+        rows = run(ex, "UNWIND 5 AS x RETURN x")
+        assert rows.rows == [(5,)]
+
+    def test_unwind_property_list(self, ex):
+        rows = run(ex, "MATCH (m {id: 3}) UNWIND m.genre AS g RETURN g")
+        assert [r[0] for r in rows.rows] == ["Drama", "Romance"]
+
+    def test_multiplies_each_input_row(self, ex):
+        rows = run(ex, "MATCH (u:USER) UNWIND [1,2] AS x RETURN u.name, x")
+        assert len(rows) == 4
+
+
+class TestProjection:
+    def test_with_renames(self, ex):
+        rows = run(ex, "MATCH (u:USER) WITH u.name AS who RETURN who")
+        assert rows.columns == ["who"]
+
+    def test_with_drops_variables(self, ex):
+        with pytest.raises(CypherRuntimeError):
+            run(ex, "MATCH (u:USER) WITH u.name AS who RETURN u")
+
+    def test_distinct(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) RETURN DISTINCT u.name")
+        assert len(rows) == 2
+
+    def test_with_where(self, ex):
+        rows = run(ex, "MATCH (u:USER) WITH u.age AS a WHERE a > 27 RETURN a")
+        assert rows.rows == [(30,)]
+
+    def test_order_by(self, ex):
+        rows = run(ex, "MATCH (u:USER) RETURN u.age ORDER BY u.age DESC")
+        assert [r[0] for r in rows.rows] == [30, 25]
+        assert rows.ordered
+
+    def test_order_by_alias(self, ex):
+        rows = run(ex, "MATCH (u:USER) RETURN u.age AS a ORDER BY a")
+        assert [r[0] for r in rows.rows] == [25, 30]
+
+    def test_order_by_nulls_last(self, ex):
+        rows = run(ex, "MATCH (n) RETURN n.year ORDER BY n.year")
+        years = [r[0] for r in rows.rows]
+        assert years == [2004, 2024, None, None]
+
+    def test_skip_limit(self, ex):
+        rows = run(ex, "UNWIND [1,2,3,4] AS x RETURN x SKIP 1 LIMIT 2")
+        assert [r[0] for r in rows.rows] == [2, 3]
+
+    def test_negative_limit_rejected(self, ex):
+        with pytest.raises(CypherSyntaxError):
+            run(ex, "RETURN 1 LIMIT -1")
+
+    def test_duplicate_column_rejected(self, ex):
+        with pytest.raises(CypherSyntaxError):
+            run(ex, "RETURN 1 AS x, 2 AS x")
+
+    def test_multi_key_order(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) "
+                       "RETURN u.name AS n, r.rating AS s ORDER BY n, s DESC")
+        assert rows.rows == [("Alice", 10), ("Alice", 7), ("Bob", 9)]
+
+
+class TestAggregation:
+    def test_count_star(self, ex):
+        rows = run(ex, "MATCH (n) RETURN count(*) AS c")
+        assert rows.rows == [(4,)]
+
+    def test_count_star_on_empty(self, ex):
+        rows = run(ex, "MATCH (n:GHOST) RETURN count(*) AS c")
+        assert rows.rows == [(0,)]
+
+    def test_grouping_keys(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) "
+                       "RETURN u.name AS who, count(*) AS c ORDER BY who")
+        assert rows.rows == [("Alice", 2), ("Bob", 1)]
+
+    def test_count_ignores_nulls(self, ex):
+        rows = run(ex, "MATCH (n) RETURN count(n.year) AS c")
+        assert rows.rows == [(2,)]
+
+    def test_sum_avg(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) "
+                       "RETURN sum(r.rating) AS s, avg(r.rating) AS a")
+        assert rows.rows[0][0] == 26
+        assert rows.rows[0][1] == pytest.approx(26 / 3)
+
+    def test_min_max(self, ex):
+        rows = run(ex, "MATCH (u:USER) RETURN min(u.age) AS lo, max(u.age) AS hi")
+        assert rows.rows == [(25, 30)]
+
+    def test_min_of_nothing_is_null(self, ex):
+        rows = run(ex, "MATCH (n:GHOST) RETURN min(n.x) AS m")
+        assert rows.rows == [(None,)]
+
+    def test_collect(self, ex):
+        rows = run(ex, "MATCH (u:USER) RETURN collect(u.name) AS names")
+        assert sorted(rows.rows[0][0]) == ["Alice", "Bob"]
+
+    def test_collect_distinct(self, ex):
+        rows = run(ex, "MATCH (u:USER)-[r:LIKE]->(m) "
+                       "RETURN collect(DISTINCT u.name) AS names")
+        assert sorted(rows.rows[0][0]) == ["Alice", "Bob"]
+
+    def test_aggregate_in_expression(self, ex):
+        rows = run(ex, "MATCH (u:USER) RETURN count(*) + 1 AS c")
+        assert rows.rows == [(3,)]
+
+    def test_stdev(self, ex):
+        rows = run(ex, "UNWIND [2, 4] AS x RETURN stDev(x) AS s, stDevP(x) AS p")
+        assert rows.rows[0][0] == pytest.approx(2 ** 0.5)
+        assert rows.rows[0][1] == pytest.approx(1.0)
+
+    def test_aggregation_with_zero_groups(self, ex):
+        rows = run(ex, "MATCH (n:GHOST) RETURN n.name AS k, count(*) AS c")
+        assert len(rows) == 0
+
+
+class TestUnion:
+    def test_union_dedups(self, ex):
+        rows = run(ex, "RETURN 1 AS x UNION RETURN 1 AS x")
+        assert rows.rows == [(1,)]
+
+    def test_union_all_keeps_duplicates(self, ex):
+        rows = run(ex, "RETURN 1 AS x UNION ALL RETURN 1 AS x")
+        assert len(rows) == 2
+
+    def test_union_column_mismatch(self, ex):
+        with pytest.raises(CypherSyntaxError):
+            run(ex, "RETURN 1 AS x UNION RETURN 1 AS y")
+
+
+class TestCall:
+    def test_db_labels(self, ex):
+        rows = run(ex, "CALL db.labels() YIELD label RETURN label")
+        assert [r[0] for r in rows.rows] == ["CLASSIC", "MOVIE", "USER"]
+
+    def test_yield_alias(self, ex):
+        rows = run(ex, "CALL db.labels() YIELD label AS l RETURN l")
+        assert rows.columns == ["l"]
+
+    def test_relationship_types(self, ex):
+        rows = run(ex, "CALL db.relationshipTypes() YIELD relationshipType "
+                       "RETURN relationshipType")
+        assert [r[0] for r in rows.rows] == ["KNOWS", "LIKE"]
+
+    def test_property_keys(self, ex):
+        rows = run(ex, "CALL db.propertyKeys() YIELD propertyKey RETURN propertyKey")
+        assert "rating" in [r[0] for r in rows.rows]
+
+    def test_unknown_procedure(self, ex):
+        with pytest.raises(CypherRuntimeError):
+            run(ex, "CALL db.nope() YIELD x RETURN x")
+
+    def test_unknown_yield_column(self, ex):
+        with pytest.raises(CypherSyntaxError):
+            run(ex, "CALL db.labels() YIELD nope RETURN nope")
+
+
+class TestPipelines:
+    def test_figure2_pipeline(self, ex):
+        """The paper's Figure 2 second query."""
+        rows = run(
+            ex,
+            "MATCH (p:USER)-[r:LIKE]->(m:MOVIE) WHERE p.name = 'Alice' AND "
+            "r.rating >= 8 UNWIND m.genre AS LikedGenre "
+            "WITH DISTINCT m.name AS MovieName, m, LikedGenre "
+            "RETURN MovieName, m.year AS year",
+        )
+        assert rows.columns == ["MovieName", "year"]
+        assert all(row == ("Notebook", 2004) for row in rows.rows)
+        assert len(rows) == 2  # one per distinct genre
+
+    def test_figure17_unwind_then_match(self, ex):
+        rows = run(ex, "UNWIND [1,2,3] AS a0 MATCH (n:USER {id: 0}) RETURN a0")
+        assert [r[0] for r in rows.rows] == [1, 2, 3]

@@ -1,0 +1,158 @@
+"""Edge-case tests for the executor's trickier semantics."""
+
+import pytest
+
+from repro.cypher.parser import parse_query
+from repro.engine.errors import CypherRuntimeError, CypherSyntaxError
+from repro.engine.executor import Executor
+from repro.graph.model import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    g.add_node(["P"], {"id": 0, "name": "c", "age": 3})
+    g.add_node(["P"], {"id": 1, "name": "a", "age": 1})
+    g.add_node(["P"], {"id": 2, "name": "b", "age": 2})
+    g.add_relationship(0, 1, "T", {"id": 0})
+    g.add_relationship(1, 2, "T", {"id": 1})
+    return g
+
+
+def run(graph, text):
+    return Executor(graph).execute(parse_query(text))
+
+
+class TestOrderByEnvironments:
+    def test_order_by_pre_projection_variable(self, graph):
+        """ORDER BY may reference variables that are not projected."""
+        rows = run(graph, "MATCH (n:P) RETURN n.age AS a ORDER BY n.name")
+        assert [r[0] for r in rows.rows] == [1, 2, 3]
+
+    def test_order_by_alias_shadows_variable(self, graph):
+        rows = run(graph, "MATCH (n:P) RETURN n.name AS name ORDER BY name")
+        assert [r[0] for r in rows.rows] == ["a", "b", "c"]
+
+    def test_order_by_after_distinct_uses_projection(self, graph):
+        rows = run(graph, "MATCH (n:P) RETURN DISTINCT n.age AS a ORDER BY a DESC")
+        assert [r[0] for r in rows.rows] == [3, 2, 1]
+
+    def test_order_by_aggregated_alias(self, graph):
+        rows = run(
+            graph,
+            "MATCH (n:P) RETURN n.name AS name, count(*) AS c ORDER BY name DESC",
+        )
+        assert [r[0] for r in rows.rows] == ["c", "b", "a"]
+
+    def test_order_by_stable_multikey(self, graph):
+        rows = run(
+            graph,
+            "UNWIND [1, 1, 2] AS a UNWIND ['y', 'x'] AS b "
+            "RETURN a, b ORDER BY a, b",
+        )
+        assert rows.rows == [
+            (1, "x"), (1, "x"), (1, "y"), (1, "y"), (2, "x"), (2, "y"),
+        ]
+
+
+class TestWithChains:
+    def test_with_where_sees_projection_only(self, graph):
+        with pytest.raises(CypherRuntimeError):
+            run(graph, "MATCH (n:P) WITH n.age AS a WHERE n.age > 1 RETURN a")
+
+    def test_with_chain_rebinding(self, graph):
+        rows = run(
+            graph,
+            "MATCH (n:P) WITH n.age AS a WITH a + 1 AS a2 WITH a2 * 10 AS a3 "
+            "RETURN a3 ORDER BY a3",
+        )
+        assert [r[0] for r in rows.rows] == [20, 30, 40]
+
+    def test_with_skip_applies_before_where(self, graph):
+        # WITH ... SKIP/LIMIT then WHERE filters the truncated rows.
+        rows = run(
+            graph,
+            "UNWIND [1,2,3,4] AS x WITH x ORDER BY x LIMIT 3 WHERE x > 1 "
+            "RETURN x",
+        )
+        assert [r[0] for r in rows.rows] == [2, 3]
+
+    def test_unwind_alias_reuse_across_with(self, graph):
+        rows = run(
+            graph,
+            "UNWIND [1, 2] AS x WITH x, x * 2 AS y RETURN x + y AS z ORDER BY z",
+        )
+        assert [r[0] for r in rows.rows] == [3, 6]
+
+
+class TestAggregationEdges:
+    def test_grouped_collect_per_key(self, graph):
+        rows = run(
+            graph,
+            "UNWIND [1, 1, 2] AS k UNWIND ['a'] AS v "
+            "RETURN k, collect(v) AS vs ORDER BY k",
+        )
+        assert rows.rows == [(1, ["a", "a"]), (2, ["a"])]
+
+    def test_null_group_key(self, graph):
+        rows = run(
+            graph,
+            "UNWIND [null, null, 1] AS k RETURN k, count(*) AS c ORDER BY c",
+        )
+        assert (None, 2) in [tuple(r) for r in rows.rows]
+
+    def test_avg_of_mixed_numbers(self, graph):
+        rows = run(graph, "UNWIND [1, 2.0] AS x RETURN avg(x) AS a")
+        assert rows.rows == [(1.5,)]
+
+    def test_sum_requires_numbers(self, graph):
+        from repro.engine.errors import CypherTypeError
+
+        with pytest.raises(CypherTypeError):
+            run(graph, "UNWIND ['a'] AS x RETURN sum(x) AS s")
+
+    def test_min_max_cross_type_uses_orderability(self, graph):
+        rows = run(graph, "UNWIND ['s', 1] AS x RETURN min(x) AS lo, max(x) AS hi")
+        # Strings order before numbers in the global order.
+        assert rows.rows == [("s", 1)]
+
+
+class TestUnionEdges:
+    def test_union_of_unions(self, graph):
+        rows = run(
+            graph,
+            "RETURN 1 AS x UNION RETURN 2 AS x UNION ALL RETURN 1 AS x",
+        )
+        # Left-associative: (1 UNION 2) UNION ALL 1 -> [1, 2, 1].
+        assert sorted(r[0] for r in rows.rows) == [1, 1, 2]
+
+    def test_union_distinct_collapses_across_branches(self, graph):
+        rows = run(
+            graph,
+            "UNWIND [1, 1] AS x RETURN x UNION UNWIND [1] AS x RETURN x",
+        )
+        assert rows.rows == [(1,)]
+
+
+class TestMatchEdges:
+    def test_match_after_unwind_preserves_rows(self, graph):
+        rows = run(
+            graph,
+            "UNWIND [1, 2] AS x MATCH (n:P {id: 0}) RETURN x, n.name",
+        )
+        assert len(rows) == 2
+
+    def test_failed_match_clears_rows(self, graph):
+        rows = run(graph, "UNWIND [1, 2] AS x MATCH (n:GHOST) RETURN x")
+        assert len(rows) == 0
+
+    def test_anonymous_elements(self, graph):
+        rows = run(graph, "MATCH ()-[]->() RETURN count(*) AS c")
+        assert rows.rows == [(2,)]
+
+    def test_long_chain(self, graph):
+        rows = run(
+            graph,
+            "MATCH (a)-[r1]->(b)-[r2]->(c) RETURN a.id AS a, c.id AS c",
+        )
+        assert rows.rows == [(0, 2)]

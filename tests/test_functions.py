@@ -1,0 +1,263 @@
+"""Tests for the 61-function Cypher library."""
+
+import math
+
+import pytest
+
+from repro.cypher.functions import (
+    AGGREGATES,
+    FUNCTIONS,
+    FunctionError,
+    call_function,
+    is_aggregate,
+    lookup,
+)
+from repro.graph.model import Node, Path, Relationship
+
+
+def test_exactly_61_functions():
+    """The paper's implementation supports 61 functions (§4)."""
+    assert len(FUNCTIONS) == 61
+
+
+def test_lookup_case_insensitive():
+    assert lookup("TOUPPER") is lookup("toUpper")
+    assert lookup("nope") is None
+
+
+def test_is_aggregate():
+    assert is_aggregate("count")
+    assert is_aggregate("COLLECT")
+    assert not is_aggregate("abs")
+
+
+def test_unknown_function_raises():
+    with pytest.raises(FunctionError):
+        call_function("nope", [1])
+
+
+def test_arity_checked():
+    with pytest.raises(FunctionError):
+        call_function("abs", [1, 2])
+    with pytest.raises(FunctionError):
+        call_function("left", ["abc"])
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize("name,args", [
+        ("abs", [None]),
+        ("left", [None, 2]),
+        ("left", ["abc", None]),
+        ("replace", ["a", None, "b"]),
+        ("size", [None]),
+        ("toUpper", [None]),
+    ])
+    def test_null_in_null_out(self, name, args):
+        assert call_function(name, args) is None
+
+    def test_coalesce_skips_nulls(self):
+        assert call_function("coalesce", [None, None, 3]) == 3
+        assert call_function("coalesce", [None]) is None
+
+    def test_exists_handles_null(self):
+        assert call_function("exists", [None]) is False
+        assert call_function("exists", [0]) is True
+
+    def test_value_type_of_null(self):
+        assert call_function("valueType", [None]) == "NULL"
+
+
+class TestNumeric:
+    def test_abs(self):
+        assert call_function("abs", [-5]) == 5
+        assert call_function("abs", [-1.5]) == 1.5
+
+    def test_ceil_floor_return_float(self):
+        assert call_function("ceil", [1.2]) == 2.0
+        assert call_function("floor", [1.8]) == 1.0
+        assert isinstance(call_function("ceil", [1]), float)
+
+    def test_round_half_away_from_zero(self):
+        assert call_function("round", [0.5]) == 1.0
+        assert call_function("round", [-0.5]) == -1.0
+        assert call_function("round", [1.4]) == 1.0
+
+    def test_sign(self):
+        assert call_function("sign", [-3]) == -1
+        assert call_function("sign", [0]) == 0
+        assert call_function("sign", [2.5]) == 1
+
+    def test_sqrt_negative_is_nan(self):
+        assert math.isnan(call_function("sqrt", [-1]))
+        assert call_function("sqrt", [4]) == 2.0
+
+    def test_log_domain(self):
+        assert math.isnan(call_function("log", [0]))
+        assert call_function("log", [math.e]) == pytest.approx(1.0)
+        assert call_function("log10", [100]) == pytest.approx(2.0)
+
+    def test_exp_overflow_is_inf(self):
+        assert call_function("exp", [10000]) == float("inf")
+
+    def test_trig(self):
+        assert call_function("sin", [0]) == 0.0
+        assert call_function("cos", [0]) == 1.0
+        assert math.isnan(call_function("asin", [2]))
+        assert call_function("atan2", [1, 1]) == pytest.approx(math.pi / 4)
+        assert call_function("cot", [math.pi / 4]) == pytest.approx(1.0)
+
+    def test_degrees_radians(self):
+        assert call_function("degrees", [math.pi]) == pytest.approx(180.0)
+        assert call_function("radians", [180]) == pytest.approx(math.pi)
+
+    def test_constants(self):
+        assert call_function("pi", []) == math.pi
+        assert call_function("e", []) == math.e
+
+    def test_is_nan(self):
+        assert call_function("isNaN", [float("nan")]) is True
+        assert call_function("isNaN", [1.0]) is False
+
+    def test_type_errors(self):
+        with pytest.raises(FunctionError):
+            call_function("abs", ["x"])
+        with pytest.raises(FunctionError):
+            call_function("abs", [True])
+
+
+class TestStrings:
+    def test_left_right(self):
+        assert call_function("left", ["hello", 2]) == "he"
+        assert call_function("right", ["hello", 2]) == "lo"
+        assert call_function("left", ["hi", 99]) == "hi"
+        with pytest.raises(FunctionError):
+            call_function("left", ["x", -1])
+
+    def test_trim_family(self):
+        assert call_function("trim", ["  a  "]) == "a"
+        assert call_function("ltrim", ["  a "]) == "a "
+        assert call_function("rtrim", [" a  "]) == " a"
+
+    def test_replace(self):
+        assert call_function("replace", ["banana", "na", "NA"]) == "baNANA"
+
+    def test_replace_empty_search_returns_original(self):
+        """The Figure 9 case: our reference treats '' search as identity."""
+        assert call_function("replace", ["ts15G", "", "U11sWFvRw"]) == "ts15G"
+
+    def test_split(self):
+        assert call_function("split", ["a,b,c", ","]) == ["a", "b", "c"]
+        assert call_function("split", ["abc", ""]) == ["a", "b", "c"]
+
+    def test_substring(self):
+        assert call_function("substring", ["hello", 1]) == "ello"
+        assert call_function("substring", ["hello", 1, 3]) == "ell"
+
+    def test_reverse_string_and_list(self):
+        assert call_function("reverse", ["abc"]) == "cba"
+        assert call_function("reverse", [[1, 2]]) == [2, 1]
+
+    def test_case_conversion(self):
+        assert call_function("toUpper", ["aB"]) == "AB"
+        assert call_function("toLower", ["aB"]) == "ab"
+
+    def test_char_length_and_size(self):
+        assert call_function("char_length", ["abc"]) == 3
+        assert call_function("size", ["abc"]) == 3
+        assert call_function("size", [[1, 2]]) == 2
+        with pytest.raises(FunctionError):
+            call_function("size", [1])
+
+
+class TestConversions:
+    def test_to_string(self):
+        assert call_function("toString", [1]) == "1"
+        assert call_function("toString", [True]) == "true"
+        assert call_function("toString", [1.5]) == "1.5"
+
+    def test_to_integer(self):
+        assert call_function("toInteger", ["42"]) == 42
+        assert call_function("toInteger", [" -3 "]) == -3
+        assert call_function("toInteger", [2.9]) == 2
+        assert call_function("toInteger", ["4.7"]) == 4
+        assert call_function("toInteger", ["nope"]) is None
+
+    def test_to_float(self):
+        assert call_function("toFloat", ["1.5"]) == 1.5
+        assert call_function("toFloat", [2]) == 2.0
+        assert call_function("toFloat", ["bad"]) is None
+
+    def test_to_boolean(self):
+        assert call_function("toBoolean", ["true"]) is True
+        assert call_function("toBoolean", [" FALSE "]) is False
+        assert call_function("toBoolean", ["meh"]) is None
+
+    def test_or_null_variants(self):
+        assert call_function("toIntegerOrNull", [[1]]) is None
+        assert call_function("toFloatOrNull", [True]) is None
+        assert call_function("toBooleanOrNull", [1.5]) is None
+        assert call_function("toStringOrNull", [[1]]) is None
+
+    def test_strict_variants_raise(self):
+        with pytest.raises(FunctionError):
+            call_function("toInteger", [True])
+        with pytest.raises(FunctionError):
+            call_function("toString", [[1]])
+
+
+class TestLists:
+    def test_head_last_tail(self):
+        assert call_function("head", [[1, 2, 3]]) == 1
+        assert call_function("last", [[1, 2, 3]]) == 3
+        assert call_function("tail", [[1, 2, 3]]) == [2, 3]
+        assert call_function("head", [[]]) is None
+        assert call_function("tail", [[]]) == []
+
+    def test_range(self):
+        assert call_function("range", [1, 4]) == [1, 2, 3, 4]
+        assert call_function("range", [0, 10, 3]) == [0, 3, 6, 9]
+        assert call_function("range", [3, 1, -1]) == [3, 2, 1]
+        with pytest.raises(FunctionError):
+            call_function("range", [1, 5, 0])
+
+    def test_keys(self):
+        node = Node(0, [], {"b": 1, "a": 2})
+        assert call_function("keys", [node]) == ["a", "b"]
+        assert call_function("keys", [{"x": 1}]) == ["x"]
+
+    def test_is_empty(self):
+        assert call_function("isEmpty", [[]]) is True
+        assert call_function("isEmpty", [""]) is True
+        assert call_function("isEmpty", [{}]) is True
+        assert call_function("isEmpty", [[1]]) is False
+
+
+class TestGraphFunctions:
+    def test_id_and_labels(self):
+        node = Node(7, ["B", "A"])
+        assert call_function("id", [node]) == 7
+        assert call_function("labels", [node]) == ["A", "B"]
+
+    def test_type(self):
+        rel = Relationship(1, "LIKES", 0, 2)
+        assert call_function("type", [rel]) == "LIKES"
+        with pytest.raises(FunctionError):
+            call_function("type", [Node(0)])
+
+    def test_start_end_node_reference_convention(self):
+        rel = Relationship(1, "T", 3, 9)
+        assert call_function("startNode", [rel]) == ("__node_ref__", 3)
+        assert call_function("endNode", [rel]) == ("__node_ref__", 9)
+
+    def test_properties(self):
+        node = Node(0, [], {"a": 1})
+        assert call_function("properties", [node]) == {"a": 1}
+
+    def test_length_and_path_functions(self):
+        a, b = Node(0), Node(1)
+        rel = Relationship(0, "T", 0, 1)
+        path = Path((a, b), (rel,))
+        assert call_function("length", [path]) == 1
+        assert call_function("nodes", [path]) == [a, b]
+        assert call_function("relationships", [path]) == [rel]
+        assert call_function("length", ["abc"]) == 3  # legacy string length

@@ -1,0 +1,107 @@
+"""Property tests over the function library's cross-cutting contracts."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher.functions import FUNCTIONS, FunctionError, call_function
+
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=6),
+    st.lists(st.integers(min_value=-5, max_value=5), max_size=3),
+)
+
+
+def invoke(name, args):
+    try:
+        return ("ok", call_function(name, args))
+    except FunctionError as exc:
+        return ("error", str(exc))
+
+
+class TestNullContract:
+    @given(st.sampled_from(sorted(FUNCTIONS)), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_null_in_null_out_or_declared_exception(self, name, extra):
+        """Every null-propagating function returns null for null input."""
+        fdef = FUNCTIONS[name]
+        arity = fdef.arity_min
+        if arity == 0:
+            return
+        args = [None] * arity
+        status, value = invoke(name, args)
+        if fdef.propagates_null:
+            assert status == "ok" and value is None
+        # Non-propagating functions define their own null behaviour; they
+        # must still not crash with a non-FunctionError.
+
+
+class TestArityContract:
+    @given(st.sampled_from(sorted(FUNCTIONS)))
+    @settings(max_examples=100, deadline=None)
+    def test_too_few_arguments_rejected(self, name):
+        fdef = FUNCTIONS[name]
+        if fdef.arity_min == 0:
+            return
+        status, _ = invoke(name, [1] * (fdef.arity_min - 1))
+        assert status == "error"
+
+    @given(st.sampled_from(sorted(FUNCTIONS)))
+    @settings(max_examples=100, deadline=None)
+    def test_too_many_arguments_rejected(self, name):
+        fdef = FUNCTIONS[name]
+        if fdef.arity_max is None:
+            return
+        status, _ = invoke(name, [1] * (fdef.arity_max + 1))
+        assert status == "error"
+
+
+class TestTotalityOnScalars:
+    """Functions either return a value or raise FunctionError — never
+    anything else — for arbitrary scalar inputs."""
+
+    @given(st.sampled_from(sorted(FUNCTIONS)), st.lists(scalar_values, max_size=3))
+    @settings(max_examples=400, deadline=None)
+    def test_no_unexpected_exceptions(self, name, args):
+        fdef = FUNCTIONS[name]
+        if not (fdef.arity_min <= len(args) and
+                (fdef.arity_max is None or len(args) <= fdef.arity_max)):
+            return
+        invoke(name, args)  # must not raise anything but FunctionError
+
+
+class TestInverseRelationships:
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_tostring_tointeger_inverse(self, value):
+        assert call_function("toInteger", [call_function("toString", [value])]) == value
+
+    @given(st.text(alphabet="abcXYZ019", max_size=10))
+    def test_reverse_involutive(self, text):
+        assert call_function("reverse", [call_function("reverse", [text])]) == text
+
+    @given(st.lists(st.integers(), max_size=6))
+    def test_head_tail_partition(self, items):
+        if not items:
+            return
+        head = call_function("head", [items])
+        tail = call_function("tail", [items])
+        assert [head] + tail == items
+
+    @given(st.text(alphabet="abc", max_size=8),
+           st.integers(min_value=0, max_value=8))
+    def test_left_right_cover(self, text, cut):
+        cut = min(cut, len(text))
+        left = call_function("left", [text, cut])
+        right = call_function("right", [text, len(text) - cut])
+        assert left + right == text
+
+    @given(st.text(alphabet="xyz", max_size=8))
+    def test_upper_lower_case_stable(self, text):
+        upper = call_function("toUpper", [text])
+        assert call_function("toLower", [upper]) == text

@@ -1,0 +1,133 @@
+"""Tests for the random schema and graph generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generator import GeneratorConfig, GraphGenerator, random_value_for
+from repro.graph.schema import PROPERTY_TYPES, GraphSchema, PropertySpec
+
+
+class TestSchema:
+    def test_random_schema_shape(self):
+        schema = GraphSchema.random(random.Random(0))
+        assert len(schema.labels) == 12
+        assert len(schema.relationship_types) == 4
+        assert all(spec.type in PROPERTY_TYPES for spec in schema.node_properties)
+
+    def test_property_names_unique(self):
+        schema = GraphSchema.random(random.Random(1))
+        names = [s.name for s in schema.node_properties + schema.rel_properties]
+        assert len(names) == len(set(names))
+
+    def test_property_type_lookup(self):
+        schema = GraphSchema(
+            ["L"], ["T"], [PropertySpec("k0", "INTEGER")], [PropertySpec("k1", "STRING")]
+        )
+        assert schema.property_type("k0") == "INTEGER"
+        assert schema.property_type("k1") == "STRING"
+        assert schema.property_type("nope") is None
+
+    def test_invalid_property_type_rejected(self):
+        with pytest.raises(ValueError):
+            PropertySpec("k", "BLOB")
+
+    def test_describe_round_trip_fields(self):
+        schema = GraphSchema.random(random.Random(2))
+        desc = schema.describe()
+        assert desc["labels"] == schema.labels
+        assert len(desc["node_properties"]) == len(schema.node_properties)
+
+
+class TestRandomValues:
+    @pytest.mark.parametrize("ptype", PROPERTY_TYPES)
+    def test_value_types(self, ptype):
+        rng = random.Random(3)
+        for _ in range(20):
+            value = random_value_for(PropertySpec("k", ptype), rng)
+            if ptype == "INTEGER":
+                assert isinstance(value, int) and not isinstance(value, bool)
+            elif ptype == "FLOAT":
+                assert isinstance(value, float)
+            elif ptype == "BOOLEAN":
+                assert isinstance(value, bool)
+            elif ptype == "STRING":
+                assert isinstance(value, str) and value
+            else:
+                assert isinstance(value, list) and value
+                assert all(isinstance(item, str) for item in value)
+
+
+class TestGraphGenerator:
+    def test_deterministic_by_seed(self):
+        g1 = GraphGenerator(seed=42).generate()
+        g2 = GraphGenerator(seed=42).generate()
+        assert g1.node_count == g2.node_count
+        assert g1.relationship_count == g2.relationship_count
+        for node in g1.nodes():
+            assert g2.node(node.id).properties == node.properties
+
+    def test_different_seeds_differ(self):
+        g1 = GraphGenerator(seed=1).generate()
+        g2 = GraphGenerator(seed=2).generate()
+        same = g1.node_count == g2.node_count and all(
+            g2.node(n.id).properties == n.properties for n in g1.nodes()
+        )
+        assert not same
+
+    def test_config_bounds_respected(self):
+        config = GeneratorConfig(min_nodes=5, max_nodes=6, min_relationships=3,
+                                 max_relationships=8)
+        for seed in range(20):
+            graph = GraphGenerator(seed=seed, config=config).generate()
+            assert 5 <= graph.node_count <= 6
+            assert 3 <= graph.relationship_count <= 8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_nodes=5, max_nodes=2)
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_relationships=9, max_relationships=2)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_ids_unique_and_dense(self, seed):
+        """Every element carries a unique integer `id` property."""
+        graph = GraphGenerator(seed=seed).generate()
+        node_ids = [node.properties["id"] for node in graph.nodes()]
+        rel_ids = [rel.properties["id"] for rel in graph.relationships()]
+        assert sorted(node_ids) == list(range(graph.node_count))
+        assert sorted(rel_ids) == list(range(graph.relationship_count))
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_every_node_labeled(self, seed):
+        graph = GraphGenerator(seed=seed).generate()
+        assert all(node.labels for node in graph.nodes())
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_relationship_endpoints_exist(self, seed):
+        graph = GraphGenerator(seed=seed).generate()
+        for rel in graph.relationships():
+            assert graph.has_node(rel.start)
+            assert graph.has_node(rel.end)
+
+    def test_schema_conformance(self):
+        generator = GraphGenerator(seed=9)
+        schema, graph = generator.generate_with_schema()
+        known = {spec.name for spec in schema.node_properties} | {"id"}
+        for node in graph.nodes():
+            assert set(node.properties) <= known
+        rel_known = {spec.name for spec in schema.rel_properties} | {"id"}
+        for rel in graph.relationships():
+            assert set(rel.properties) <= rel_known
+
+    def test_paper_default_sizes(self):
+        """The §5.1 setup: small graphs, at most 13 nodes."""
+        config = GeneratorConfig()
+        for seed in range(30):
+            graph = GraphGenerator(seed=seed, config=config).generate()
+            assert graph.node_count <= 13

@@ -1,0 +1,166 @@
+"""Tests for the labeled property graph model."""
+
+import pytest
+
+from repro.graph.model import Node, Path, PropertyGraph, PropertyKey, Relationship
+
+
+@pytest.fixture
+def small_graph():
+    graph = PropertyGraph()
+    a = graph.add_node(["USER"], {"name": "Alice", "id": 0})
+    b = graph.add_node(["MOVIE"], {"name": "Longlegs", "id": 1})
+    c = graph.add_node(["MOVIE", "CLASSIC"], {"name": "Notebook", "id": 2})
+    graph.add_relationship(a.id, b.id, "LIKE", {"rating": 7, "id": 0})
+    graph.add_relationship(a.id, c.id, "LIKE", {"rating": 10, "id": 1})
+    graph.add_relationship(b.id, c.id, "SEQUEL_OF", {"id": 2})
+    return graph
+
+
+class TestConstruction:
+    def test_counts(self, small_graph):
+        assert small_graph.node_count == 3
+        assert small_graph.relationship_count == 3
+
+    def test_ids_are_sequential(self, small_graph):
+        assert small_graph.node_ids() == [0, 1, 2]
+        assert small_graph.relationship_ids() == [0, 1, 2]
+
+    def test_explicit_ids_respected(self):
+        graph = PropertyGraph()
+        graph.add_node(node_id=10)
+        node = graph.add_node()
+        assert node.id == 11
+
+    def test_duplicate_node_id_rejected(self):
+        graph = PropertyGraph()
+        graph.add_node(node_id=1)
+        with pytest.raises(ValueError):
+            graph.add_node(node_id=1)
+
+    def test_relationship_requires_endpoints(self):
+        graph = PropertyGraph()
+        graph.add_node()
+        with pytest.raises(KeyError):
+            graph.add_relationship(0, 99, "T")
+
+    def test_self_loop_allowed(self):
+        graph = PropertyGraph()
+        node = graph.add_node()
+        rel = graph.add_relationship(node.id, node.id, "SELF")
+        assert rel.other_end(node.id) == node.id
+
+
+class TestIndexes:
+    def test_label_index(self, small_graph):
+        movies = small_graph.nodes_with_label("MOVIE")
+        assert {n.id for n in movies} == {1, 2}
+        assert small_graph.nodes_with_label("NOPE") == []
+
+    def test_type_index(self, small_graph):
+        likes = small_graph.relationships_with_type("LIKE")
+        assert {r.id for r in likes} == {0, 1}
+
+    def test_labels_listing(self, small_graph):
+        assert small_graph.labels() == ["CLASSIC", "MOVIE", "USER"]
+
+    def test_relationship_types_listing(self, small_graph):
+        assert small_graph.relationship_types() == ["LIKE", "SEQUEL_OF"]
+
+
+class TestTraversal:
+    def test_outgoing_incoming(self, small_graph):
+        assert {r.id for r in small_graph.outgoing(0)} == {0, 1}
+        assert {r.id for r in small_graph.incoming(2)} == {1, 2}
+
+    def test_touching(self, small_graph):
+        assert {r.id for r in small_graph.touching(1)} == {0, 2}
+
+    def test_degree(self, small_graph):
+        assert small_graph.degree(0) == 2
+        assert small_graph.degree(2) == 2
+
+    def test_neighbours_deduplicated(self):
+        graph = PropertyGraph()
+        a = graph.add_node()
+        b = graph.add_node()
+        graph.add_relationship(a.id, b.id, "T")
+        graph.add_relationship(b.id, a.id, "T")
+        assert graph.neighbours(a.id) == [b.id]
+
+
+class TestDeletion:
+    def test_remove_relationship(self, small_graph):
+        small_graph.remove_relationship(0)
+        assert small_graph.relationship_count == 2
+        assert {r.id for r in small_graph.outgoing(0)} == {1}
+
+    def test_remove_node_with_rels_fails(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.remove_node(0)
+
+    def test_detach_delete(self, small_graph):
+        small_graph.detach_delete_node(0)
+        assert small_graph.node_count == 2
+        assert small_graph.relationship_count == 1  # only SEQUEL_OF remains
+
+
+class TestProperties:
+    def test_property_key_resolution(self, small_graph):
+        key = PropertyKey("node", 1, "name")
+        assert small_graph.property_value(key) == "Longlegs"
+        rel_key = PropertyKey("rel", 1, "rating")
+        assert small_graph.property_value(rel_key) == 10
+
+    def test_all_property_keys(self, small_graph):
+        keys = small_graph.all_property_keys()
+        assert PropertyKey("node", 0, "name") in keys
+        assert PropertyKey("rel", 0, "rating") in keys
+        # 3 nodes x 2 props + rel props (2 + 2 + 1).
+        assert len(keys) == 11
+
+    def test_missing_property_is_none(self, small_graph):
+        assert small_graph.property_value(PropertyKey("node", 0, "ghost")) is None
+
+
+class TestCopy:
+    def test_copy_is_deep_for_structure(self, small_graph):
+        clone = small_graph.copy()
+        clone.add_node(["NEW"])
+        clone.node(0).properties["name"] = "Changed"
+        assert small_graph.node_count == 3
+        assert small_graph.node(0).properties["name"] == "Alice"
+
+    def test_copy_preserves_everything(self, small_graph):
+        clone = small_graph.copy()
+        assert clone.node_count == small_graph.node_count
+        assert clone.relationship_count == small_graph.relationship_count
+        assert clone.labels() == small_graph.labels()
+
+
+class TestPath:
+    def test_arity_check(self):
+        node = Node(0)
+        with pytest.raises(ValueError):
+            Path((node,), (Relationship(0, "T", 0, 0),))
+
+    def test_element_ids_interleaved(self):
+        a, b = Node(0), Node(1)
+        rel = Relationship(7, "T", 0, 1)
+        path = Path((a, b), (rel,))
+        assert path.element_ids() == (("node", 0), ("rel", 7), ("node", 1))
+        assert len(path) == 1
+
+
+class TestElementSemantics:
+    def test_node_equality_by_id(self):
+        assert Node(1, ["A"]) == Node(1, ["B"])
+        assert Node(1) != Node(2)
+        assert hash(Node(1)) == hash(Node(1))
+
+    def test_node_not_equal_relationship(self):
+        assert Node(1) != Relationship(1, "T", 0, 0)
+
+    def test_labels_frozen(self):
+        node = Node(1, ["A", "B"])
+        assert node.labels == frozenset({"A", "B"})

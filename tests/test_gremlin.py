@@ -1,0 +1,123 @@
+"""Tests for the Cypher-to-Gremlin translator (§7 'Beyond Cypher')."""
+
+import random
+
+import pytest
+
+from repro.core import QuerySynthesizer, SynthesizerConfig
+from repro.cypher.gremlin import (
+    UnsupportedForGremlin,
+    translate_expression,
+    translate_query,
+)
+from repro.cypher.parser import parse_expression, parse_query
+from repro.graph import GraphGenerator
+
+
+def tq(text):
+    return translate_query(parse_query(text))
+
+
+class TestPatterns:
+    def test_simple_match(self):
+        out = tq("MATCH (n:USER) RETURN n.name AS name")
+        assert out.startswith("g.V().hasLabel('USER').as('n')")
+        assert ".project('name')" in out
+
+    def test_directed_edge(self):
+        out = tq("MATCH (a)-[r:LIKE]->(b) RETURN a.x AS x")
+        assert ".outE('LIKE').as('r').inV()" in out
+
+    def test_incoming_edge(self):
+        out = tq("MATCH (a)<-[r:LIKE]-(b) RETURN a.x AS x")
+        assert ".inE('LIKE').as('r').outV()" in out
+
+    def test_undirected_edge(self):
+        out = tq("MATCH (a)-[r]-(b) RETURN a.x AS x")
+        assert ".bothE().as('r').otherV()" in out
+
+    def test_multiple_patterns_become_match_steps(self):
+        out = tq("MATCH (a:X), (b:Y) RETURN a.v AS v")
+        assert ".match(__." in out
+
+    def test_inline_properties(self):
+        out = tq("MATCH (a {id: 3}) RETURN a.x AS x")
+        assert ".has('id', 3)" in out
+
+
+class TestExpressions:
+    def test_comparators(self):
+        out = translate_expression(parse_expression("n.x >= 5"))
+        assert "P.gte(5)" in out
+
+    def test_text_predicates(self):
+        out = translate_expression(parse_expression("n.s STARTS WITH 'ab'"))
+        assert "TextP.startingWith('ab')" in out
+
+    def test_logic(self):
+        out = translate_expression(parse_expression("n.x = 1 AND n.y = 2"))
+        assert out.startswith("and(")
+
+    def test_functions_prefixed(self):
+        out = translate_expression(parse_expression("toUpper(n.s)"))
+        assert out.startswith("cfog.toUpper(")
+
+    def test_where_is_attached(self):
+        out = tq("MATCH (n) WHERE n.x = 1 RETURN n.x AS x")
+        assert ".where(" in out
+
+
+class TestRefinements:
+    def test_order_and_limit(self):
+        out = tq("MATCH (n) RETURN n.x AS x ORDER BY n.x DESC LIMIT 3")
+        assert ".order().by(" in out and "desc" in out
+        assert ".limit(3)" in out
+
+    def test_distinct(self):
+        out = tq("MATCH (n) RETURN DISTINCT n.x AS x")
+        assert ".dedup()" in out
+
+
+class TestDisabledFeatures:
+    """Exactly the features the paper disabled for the JanusGraph run."""
+
+    @pytest.mark.parametrize("text,fragment", [
+        ("UNWIND [1,2] AS x RETURN x", "UNWIND"),
+        ("MATCH (n) RETURN count(*) AS c", "aggregation"),
+        ("MATCH (n) RETURN collect(n.x) AS xs", "aggregation"),
+        ("RETURN 1 AS x UNION RETURN 2 AS x", "UNION"),
+        ("CALL db.labels() YIELD label RETURN label", "CALL"),
+        ("OPTIONAL MATCH (n) RETURN n.x AS x", "OPTIONAL MATCH"),
+    ])
+    def test_unsupported(self, text, fragment):
+        with pytest.raises(UnsupportedForGremlin) as excinfo:
+            tq(text)
+        assert fragment.split()[0] in str(excinfo.value)
+
+
+class TestSynthesizedQueries:
+    def test_translatable_fraction(self):
+        """With UNWIND/CALL/UNION/aggregates disabled in the synthesizer
+        config, most GQS queries translate (the §7 setup)."""
+        config = SynthesizerConfig(
+            extra_lists=0,
+            union_probability=0.0,
+            call_probability=0.0,
+            count_star_alias_probability=0.0,
+            optional_match_probability=0.0,
+            use_list_comprehensions=False,
+        )
+        translated = failed = 0
+        for seed in range(40):
+            schema, graph = GraphGenerator(seed=seed).generate_with_schema()
+            synthesizer = QuerySynthesizer(
+                graph, rng=random.Random(seed), config=config
+            )
+            result = synthesizer.synthesize()
+            try:
+                out = translate_query(result.query)
+                assert out.startswith("g.V()")
+                translated += 1
+            except UnsupportedForGremlin:
+                failed += 1
+        assert translated > failed

@@ -1,0 +1,124 @@
+"""Tests for the Cypher tokenizer."""
+
+import pytest
+
+from repro.cypher.lexer import LexError, Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_whitespace_skipped(self):
+        assert kinds("  \n\t MATCH ") == [("keyword", "MATCH")]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("match MaTcH MATCH") == [("keyword", "MATCH")] * 3
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("myVar n0") == [("ident", "myVar"), ("ident", "n0")]
+
+    def test_line_comment(self):
+        assert kinds("MATCH // comment here\n RETURN") == [
+            ("keyword", "MATCH"),
+            ("keyword", "RETURN"),
+        ]
+
+    def test_comment_at_end(self):
+        assert kinds("RETURN // trailing") == [("keyword", "RETURN")]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [("int", "42")]
+
+    def test_float(self):
+        assert kinds("4.25") == [("float", "4.25")]
+
+    def test_scientific(self):
+        assert kinds("1e5 2.5E-3") == [("float", "1e5"), ("float", "2.5E-3")]
+
+    def test_dotdot_not_float(self):
+        # `0..3` is a slice, not two floats.
+        assert kinds("0..3") == [("int", "0"), ("punct", ".."), ("int", "3")]
+
+    def test_property_access_after_int_var(self):
+        assert kinds("n.k1") == [
+            ("ident", "n"), ("punct", "."), ("ident", "k1"),
+        ]
+
+
+class TestStrings:
+    def test_single_quotes(self):
+        assert kinds("'hello'") == [("string", "hello")]
+
+    def test_double_quotes(self):
+        assert kinds('"hi"') == [("string", "hi")]
+
+    def test_escapes(self):
+        assert kinds(r"'a\'b\\c\nd'") == [("string", "a'b\\c\nd")]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_dangling_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops\\")
+
+
+class TestPunctuation:
+    def test_arrows(self):
+        assert kinds("-[r]->") == [
+            ("punct", "-"), ("punct", "["), ("ident", "r"),
+            ("punct", "]"), ("punct", "->"),
+        ]
+
+    def test_left_arrow(self):
+        assert kinds("<-[") == [("punct", "<-"), ("punct", "[")]
+
+    def test_comparison_operators(self):
+        assert kinds("<= >= <> < > =") == [
+            ("punct", "<="), ("punct", ">="), ("punct", "<>"),
+            ("punct", "<"), ("punct", ">"), ("punct", "="),
+        ]
+
+    def test_regex_match_operator(self):
+        assert kinds("=~") == [("punct", "=~")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestBacktick:
+    def test_backtick_identifier(self):
+        assert kinds("`weird name`") == [("ident", "weird name")]
+
+    def test_unterminated_backtick(self):
+        with pytest.raises(LexError):
+            tokenize("`oops")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("MATCH")[0]
+        assert token.is_keyword("MATCH")
+        assert token.is_keyword("MATCH", "RETURN")
+        assert not token.is_keyword("RETURN")
+
+    def test_is_punct(self):
+        token = tokenize("(")[0]
+        assert token.is_punct("(")
+        assert not token.is_punct(")")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("MATCH (n)")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 6

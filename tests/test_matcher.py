@@ -1,0 +1,191 @@
+"""Tests for the pattern matcher."""
+
+import pytest
+
+from repro.cypher import ast
+from repro.engine.matcher import Matcher
+from repro.graph.model import PropertyGraph
+
+
+@pytest.fixture
+def diamond():
+    r"""A diamond:  0 -> 1 -> 3,  0 -> 2 -> 3, plus a self-loop on 3."""
+    graph = PropertyGraph()
+    for index in range(4):
+        graph.add_node([f"N{index}"], {"id": index})
+    graph.add_relationship(0, 1, "A", {"id": 0})
+    graph.add_relationship(0, 2, "A", {"id": 1})
+    graph.add_relationship(1, 3, "B", {"id": 2})
+    graph.add_relationship(2, 3, "B", {"id": 3})
+    graph.add_relationship(3, 3, "LOOP", {"id": 4})
+    return graph
+
+
+def node_pattern(var, *labels):
+    return ast.NodePattern(var, tuple(labels))
+
+
+def rel(var, direction=ast.OUT, *types):
+    return ast.RelationshipPattern(var, tuple(types), direction)
+
+
+def path(*parts):
+    nodes = tuple(p for p in parts if isinstance(p, ast.NodePattern))
+    rels = tuple(p for p in parts if isinstance(p, ast.RelationshipPattern))
+    return ast.PathPattern(nodes, rels)
+
+
+class TestSingleChain:
+    def test_single_node(self, diamond):
+        matcher = Matcher(diamond)
+        matches = list(matcher.match((path(node_pattern("n")),), {}))
+        assert len(matches) == 4
+
+    def test_label_constraint(self, diamond):
+        matcher = Matcher(diamond)
+        matches = list(matcher.match((path(node_pattern("n", "N2")),), {}))
+        assert len(matches) == 1
+        assert matches[0]["n"].id == 2
+
+    def test_directed_hop(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r"), node_pattern("b"))
+        matches = list(matcher.match((pattern,), {}))
+        assert len(matches) == 5  # 4 edges + self loop
+
+    def test_incoming_direction(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r", ast.IN), node_pattern("b"))
+        matches = list(matcher.match((pattern,), {}))
+        # Same five edges, viewed from the other side.
+        assert len(matches) == 5
+        assert all(m["r"].end == m["a"].id for m in matches)
+
+    def test_undirected_hop(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r", ast.BOTH), node_pattern("b"))
+        matches = list(matcher.match((pattern,), {}))
+        # Each non-loop edge matched twice (once per orientation) + loop once.
+        assert len(matches) == 9
+
+    def test_type_constraint(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r", ast.OUT, "A"), node_pattern("b"))
+        matches = list(matcher.match((pattern,), {}))
+        assert {m["r"].id for m in matches} == {0, 1}
+
+    def test_two_hop_paths(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(
+            node_pattern("a"), rel("r1"), node_pattern("b"), rel("r2"),
+            node_pattern("c"),
+        )
+        matches = list(matcher.match((pattern,), {}))
+        # 0->1->3, 0->2->3, 1->3->3(loop), 2->3->3(loop).
+        assert len(matches) == 4
+
+
+class TestRelationshipUniqueness:
+    def test_loop_cannot_repeat(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(
+            node_pattern("a"), rel("r1", ast.BOTH), node_pattern("b"),
+            rel("r2", ast.BOTH), node_pattern("c"),
+        )
+        for match in matcher.match((pattern,), {}):
+            assert match["r1"].id != match["r2"].id
+
+    def test_uniqueness_across_comma_patterns(self, diamond):
+        matcher = Matcher(diamond)
+        p1 = path(node_pattern("a"), rel("r1", ast.OUT, "A"), node_pattern("b"))
+        p2 = path(node_pattern("c"), rel("r2", ast.OUT, "A"), node_pattern("d"))
+        for match in matcher.match((p1, p2), {}):
+            assert match["r1"].id != match["r2"].id
+
+    def test_uniqueness_disabled(self, diamond):
+        loose = Matcher(diamond, enforce_rel_uniqueness=False)
+        p1 = path(node_pattern("a"), rel("r1", ast.OUT, "A"), node_pattern("b"))
+        p2 = path(node_pattern("c"), rel("r2", ast.OUT, "A"), node_pattern("d"))
+        matches = list(loose.match((p1, p2), {}))
+        assert any(m["r1"].id == m["r2"].id for m in matches)
+
+
+class TestBoundVariables:
+    def test_bound_node_constrains(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r"), node_pattern("b"))
+        row = {"a": diamond.node(0)}
+        matches = list(matcher.match((pattern,), row))
+        assert len(matches) == 2
+        assert all(m["a"].id == 0 for m in matches)
+
+    def test_bound_relationship_constrains(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r"), node_pattern("b"))
+        row = {"r": diamond.relationship(2)}
+        matches = list(matcher.match((pattern,), row))
+        assert len(matches) == 1
+        assert matches[0]["a"].id == 1
+
+    def test_null_bound_variable_never_matches(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r"), node_pattern("b"))
+        assert list(matcher.match((pattern,), {"a": None})) == []
+
+    def test_shared_variable_joins_patterns(self, diamond):
+        matcher = Matcher(diamond)
+        p1 = path(node_pattern("a"), rel("r1", ast.OUT, "A"), node_pattern("m"))
+        p2 = path(node_pattern("m"), rel("r2", ast.OUT, "B"), node_pattern("b"))
+        matches = list(matcher.match((p1, p2), {}))
+        assert len(matches) == 2  # through node 1 and node 2
+        for match in matches:
+            assert match["r1"].end == match["m"].id
+            assert match["r2"].start == match["m"].id
+
+    def test_same_variable_twice_in_one_pattern(self, diamond):
+        # (n)-[r]->(n) matches only the self-loop.
+        matcher = Matcher(diamond)
+        pattern = ast.PathPattern(
+            (node_pattern("n"), node_pattern("n")), (rel("r"),)
+        )
+        matches = list(matcher.match((pattern,), {}))
+        assert len(matches) == 1
+        assert matches[0]["n"].id == 3
+
+
+class TestPropertyMaps:
+    def test_inline_property_filter(self, diamond):
+        matcher = Matcher(diamond)
+        props = ast.MapLiteral((("id", ast.Literal(2)),))
+        pattern = path(ast.NodePattern("n", (), props))
+        matches = list(matcher.match((pattern,), {}))
+        assert len(matches) == 1
+        assert matches[0]["n"].id == 2
+
+    def test_property_filter_no_match(self, diamond):
+        matcher = Matcher(diamond)
+        props = ast.MapLiteral((("id", ast.Literal(99)),))
+        pattern = path(ast.NodePattern("n", (), props))
+        assert list(matcher.match((pattern,), {})) == []
+
+    def test_rel_property_filter(self, diamond):
+        matcher = Matcher(diamond)
+        props = ast.MapLiteral((("id", ast.Literal(3)),))
+        pattern = ast.PathPattern(
+            (node_pattern("a"), node_pattern("b")),
+            (ast.RelationshipPattern("r", (), ast.OUT, props),),
+        )
+        matches = list(matcher.match((pattern,), {}))
+        assert len(matches) == 1
+        assert matches[0]["r"].id == 3
+
+
+class TestDeterminism:
+    def test_match_order_is_stable(self, diamond):
+        matcher = Matcher(diamond)
+        pattern = path(node_pattern("a"), rel("r", ast.BOTH), node_pattern("b"))
+        first = [(m["a"].id, m["r"].id, m["b"].id)
+                 for m in matcher.match((pattern,), {})]
+        second = [(m["a"].id, m["r"].id, m["b"].id)
+                  for m in matcher.match((pattern,), {})]
+        assert first == second

@@ -1,0 +1,99 @@
+"""Tests for named path patterns (``MATCH p = ...``)."""
+
+import pytest
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_query
+from repro.cypher.printer import print_query
+from repro.engine.executor import Executor
+from repro.graph.model import Path, PropertyGraph
+
+
+@pytest.fixture
+def chain():
+    g = PropertyGraph()
+    g.add_node(["A"], {"id": 0})
+    g.add_node(["B"], {"id": 1})
+    g.add_node(["C"], {"id": 2})
+    g.add_relationship(0, 1, "T", {"id": 0, "w": 1})
+    g.add_relationship(1, 2, "T", {"id": 1, "w": 2})
+    return g
+
+
+def run(graph, text):
+    return Executor(graph).execute(parse_query(text))
+
+
+class TestParsing:
+    def test_path_variable_parsed(self):
+        query = parse_query("MATCH p = (a)-[r]->(b) RETURN p")
+        assert query.clauses[0].patterns[0].path_variable == "p"
+
+    def test_round_trip(self):
+        text = "MATCH p = (a:A)-[r:T]->(b) RETURN length(p) AS len"
+        printed = print_query(parse_query(text))
+        assert printed.startswith("MATCH p = ")
+        assert print_query(parse_query(printed)) == printed
+
+    def test_mixed_named_and_plain(self):
+        query = parse_query("MATCH p = (a)-[r]->(b), (c) RETURN p, c")
+        patterns = query.clauses[0].patterns
+        assert patterns[0].path_variable == "p"
+        assert patterns[1].path_variable is None
+
+    def test_path_variable_in_variables(self):
+        query = parse_query("MATCH p = (a)-[r]->(b) RETURN p")
+        assert "p" in set(query.clauses[0].patterns[0].variables())
+
+
+class TestExecution:
+    def test_path_value_bound(self, chain):
+        rows = run(chain, "MATCH p = (a:A)-[r]->(b) RETURN p")
+        assert len(rows) == 1
+        path = rows.rows[0][0]
+        assert isinstance(path, Path)
+        assert len(path) == 1
+
+    def test_length_function(self, chain):
+        rows = run(chain, "MATCH p = (a:A)-[r1]->(b)-[r2]->(c) "
+                          "RETURN length(p) AS len")
+        assert rows.rows == [(2,)]
+
+    def test_nodes_and_relationships_functions(self, chain):
+        rows = run(
+            chain,
+            "MATCH p = (a:A)-[r1]->(b)-[r2]->(c) "
+            "RETURN size(nodes(p)) AS n, size(relationships(p)) AS r",
+        )
+        assert rows.rows == [(3, 2)]
+
+    def test_path_endpoints(self, chain):
+        rows = run(
+            chain,
+            "MATCH p = (a)-[r]->(b) "
+            "RETURN id(head(nodes(p))) AS s, id(last(nodes(p))) AS e "
+            "ORDER BY s",
+        )
+        assert rows.rows == [(0, 1), (1, 2)]
+
+    def test_zero_length_path(self, chain):
+        rows = run(chain, "MATCH p = (a:A) RETURN length(p) AS len")
+        assert rows.rows == [(0,)]
+
+    def test_path_distinct(self, chain):
+        rows = run(
+            chain,
+            "MATCH p = (a)-[r]->(b) WITH DISTINCT p RETURN count(*) AS c",
+        )
+        assert rows.rows == [(2,)]
+
+    def test_paths_in_ordering(self, chain):
+        rows = run(chain, "MATCH p = (a)-[r]->(b) RETURN p ORDER BY p")
+        assert len(rows) == 2
+
+    def test_undirected_named_path(self, chain):
+        rows = run(
+            chain,
+            "MATCH p = (b:B)-[r]-(x) RETURN length(p) AS len",
+        )
+        assert len(rows) == 2

@@ -1,0 +1,127 @@
+"""Tests for the ground-truth oracle and result-set comparison."""
+
+import pytest
+
+from repro.core.oracle import check_result
+from repro.engine.binding import BindingTable, ResultSet
+
+
+class TestResultSet:
+    def test_bag_equality_order_insensitive(self):
+        a = ResultSet(["x"], [(1,), (2,)])
+        b = ResultSet(["x"], [(2,), (1,)])
+        assert a.same_rows(b)
+
+    def test_bag_equality_counts_multiplicity(self):
+        a = ResultSet(["x"], [(1,), (1,)])
+        b = ResultSet(["x"], [(1,)])
+        assert not a.same_rows(b)
+
+    def test_column_names_matter(self):
+        a = ResultSet(["x"], [(1,)])
+        b = ResultSet(["y"], [(1,)])
+        assert not a.same_rows(b)
+
+    def test_equivalence_semantics(self):
+        a = ResultSet(["x"], [(None,), (float("nan"),)])
+        b = ResultSet(["x"], [(float("nan"),), (None,)])
+        assert a.same_rows(b)
+
+    def test_int_float_equivalence(self):
+        a = ResultSet(["x"], [(1,)])
+        b = ResultSet(["x"], [(1.0,)])
+        assert a.same_rows(b)
+
+    def test_sub_bag(self):
+        small = ResultSet(["x"], [(1,)])
+        big = ResultSet(["x"], [(1,), (1,), (2,)])
+        assert small.is_sub_bag_of(big)
+        assert not big.is_sub_bag_of(small)
+
+    def test_union_all(self):
+        a = ResultSet(["x"], [(1,)])
+        b = ResultSet(["x"], [(2,)])
+        union = ResultSet.union_all([a, b])
+        assert len(union) == 2
+
+    def test_union_all_column_mismatch(self):
+        with pytest.raises(ValueError):
+            ResultSet.union_all([ResultSet(["x"], []), ResultSet(["y"], [])])
+
+    def test_to_dicts(self):
+        rs = ResultSet(["a", "b"], [(1, 2)])
+        assert rs.to_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestBindingTable:
+    def test_unit_table(self):
+        table = BindingTable.unit()
+        assert len(table) == 1
+        assert table.rows == [{}]
+
+    def test_distinct(self):
+        table = BindingTable(["x"], [{"x": 1}, {"x": 1}, {"x": 2}])
+        assert len(table.distinct()) == 2
+
+    def test_distinct_null_and_nan(self):
+        table = BindingTable(
+            ["x"], [{"x": None}, {"x": None}, {"x": float("nan")},
+                    {"x": float("nan")}]
+        )
+        assert len(table.distinct()) == 2
+
+    def test_copy_is_independent(self):
+        table = BindingTable(["x"], [{"x": 1}])
+        clone = table.copy()
+        clone.rows[0]["x"] = 99
+        assert table.rows[0]["x"] == 1
+
+
+class TestOracle:
+    def test_passes_on_match(self):
+        expected = ResultSet(["a0"], [(1,)])
+        actual = ResultSet(["a0"], [(1,)])
+        assert check_result(expected, actual).passed
+
+    def test_column_mismatch(self):
+        verdict = check_result(
+            ResultSet(["a0"], [(1,)]), ResultSet(["a1"], [(1,)])
+        )
+        assert not verdict.passed
+        assert "column" in verdict.reason
+
+    def test_row_count_mismatch(self):
+        verdict = check_result(
+            ResultSet(["a0"], [(1,)]), ResultSet(["a0"], [(1,), (1,)])
+        )
+        assert not verdict.passed
+        assert "row count" in verdict.reason
+
+    def test_value_mismatch(self):
+        verdict = check_result(
+            ResultSet(["a0"], [(1,)]), ResultSet(["a0"], [(2,)])
+        )
+        assert not verdict.passed
+        assert "values" in verdict.reason
+
+    def test_detects_figure1_style_wrong_value(self):
+        """The paper's Figure 1: {a3:1, a4:16} vs {a3:4, a4:16}."""
+        expected = ResultSet(["a3", "a4"], [(1, 16)])
+        actual = ResultSet(["a3", "a4"], [(4, 16)])
+        assert not check_result(expected, actual).passed
+
+    def test_detects_figure8_style_empty(self):
+        expected = ResultSet(["a2", "a3", "a4"], [("0spkB", False, "SpqUzADY6")])
+        actual = ResultSet(["a2", "a3", "a4"], [])
+        assert not check_result(expected, actual).passed
+
+    def test_multiplicity_checked(self):
+        """Figure 7: six identical rows expected — five is a bug."""
+        row = ("v6z5e", True)
+        expected = ResultSet(["a3", "a4"], [row] * 6)
+        actual = ResultSet(["a3", "a4"], [row] * 5)
+        assert not check_result(expected, actual).passed
+
+    def test_verdict_is_truthy(self):
+        verdict = check_result(ResultSet([], []), ResultSet([], []))
+        assert bool(verdict)

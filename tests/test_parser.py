@@ -1,0 +1,278 @@
+"""Tests for the Cypher parser (including print→parse round trips)."""
+
+import pytest
+
+from repro.cypher import ast
+from repro.cypher.parser import ParseError, parse_expression, parse_query
+from repro.cypher.printer import print_query
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_expression("42") == ast.Literal(42)
+        assert parse_expression("4.5") == ast.Literal(4.5)
+        assert parse_expression("'hi'") == ast.Literal("hi")
+        assert parse_expression("true") == ast.Literal(True)
+        assert parse_expression("null") == ast.Literal(None)
+
+    def test_negative_literal_folded(self):
+        assert parse_expression("-7") == ast.Literal(-7)
+        assert parse_expression("-7.5") == ast.Literal(-7.5)
+
+    def test_property_access(self):
+        expr = parse_expression("n.k1")
+        assert expr == ast.PropertyAccess(ast.Variable("n"), "k1")
+
+    def test_chained_property_access(self):
+        expr = parse_expression("n.a.b")
+        assert expr == ast.PropertyAccess(
+            ast.PropertyAccess(ast.Variable("n"), "a"), "b"
+        )
+
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.Binary(
+            "+", ast.Literal(1), ast.Binary("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_power_right_associative(self):
+        expr = parse_expression("2 ^ 3 ^ 2")
+        assert expr == ast.Binary(
+            "^", ast.Literal(2), ast.Binary("^", ast.Literal(3), ast.Literal(2))
+        )
+
+    def test_logic_precedence(self):
+        expr = parse_expression("a OR b AND c")
+        assert isinstance(expr, ast.Binary) and expr.op == "OR"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a AND b")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_string_predicates(self):
+        for op in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
+            expr = parse_expression(f"'abc' {op} 'a'")
+            assert isinstance(expr, ast.Binary) and expr.op == op
+
+    def test_is_null(self):
+        expr = parse_expression("n.k IS NULL")
+        assert expr == ast.IsNull(ast.PropertyAccess(ast.Variable("n"), "k"))
+        expr = parse_expression("n.k IS NOT NULL")
+        assert expr.negated
+
+    def test_in_operator(self):
+        expr = parse_expression("1 IN [1, 2]")
+        assert expr.op == "IN"
+
+    def test_function_call(self):
+        expr = parse_expression("left('abc', 2)")
+        assert expr == ast.FunctionCall(
+            "left", (ast.Literal("abc"), ast.Literal(2))
+        )
+
+    def test_count_star(self):
+        assert parse_expression("count(*)") == ast.CountStar()
+
+    def test_distinct_aggregate(self):
+        expr = parse_expression("collect(DISTINCT x)")
+        assert expr.distinct
+
+    def test_list_literal_index_slice(self):
+        assert parse_expression("[1,2,3]") == ast.ListLiteral(
+            (ast.Literal(1), ast.Literal(2), ast.Literal(3))
+        )
+        index = parse_expression("x[0]")
+        assert isinstance(index, ast.ListIndex)
+        sliced = parse_expression("x[1..2]")
+        assert isinstance(sliced, ast.ListSlice)
+        open_slice = parse_expression("x[..2]")
+        assert open_slice.start is None
+
+    def test_map_literal(self):
+        expr = parse_expression("{a: 1, b: 'x'}")
+        assert isinstance(expr, ast.MapLiteral)
+        assert dict((k, v.value) for k, v in expr.items) == {"a": 1, "b": "x"}
+
+    def test_case_generic(self):
+        expr = parse_expression("CASE WHEN 1 < 2 THEN 'a' ELSE 'b' END")
+        assert isinstance(expr, ast.CaseExpression)
+        assert expr.subject is None
+        assert expr.default == ast.Literal("b")
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'one' END")
+        assert expr.subject == ast.Variable("x")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_labels_predicate(self):
+        expr = parse_expression("(n:L1:L2)")
+        assert expr == ast.LabelsPredicate(ast.Variable("n"), ("L1", "L2"))
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 2")
+
+
+class TestClauses:
+    def test_simple_match_return(self):
+        query = parse_query("MATCH (n) RETURN n")
+        assert isinstance(query.clauses[0], ast.Match)
+        assert isinstance(query.clauses[1], ast.Return)
+
+    def test_optional_match(self):
+        query = parse_query("OPTIONAL MATCH (n) RETURN n")
+        assert query.clauses[0].optional
+
+    def test_match_where(self):
+        query = parse_query("MATCH (n) WHERE n.x = 1 RETURN n")
+        assert query.clauses[0].where is not None
+
+    def test_multiple_patterns(self):
+        query = parse_query("MATCH (a)-[r]->(b), (c) RETURN a")
+        assert len(query.clauses[0].patterns) == 2
+
+    def test_relationship_directions(self):
+        out_q = parse_query("MATCH (a)-[r]->(b) RETURN a")
+        in_q = parse_query("MATCH (a)<-[r]-(b) RETURN a")
+        both_q = parse_query("MATCH (a)-[r]-(b) RETURN a")
+        weird = parse_query("MATCH (a)<-[r]->(b) RETURN a")  # FalkorDB style
+        get = lambda q: q.clauses[0].patterns[0].relationships[0].direction
+        assert get(out_q) == ast.OUT
+        assert get(in_q) == ast.IN
+        assert get(both_q) == ast.BOTH
+        assert get(weird) == ast.BOTH
+
+    def test_bare_arrows(self):
+        query = parse_query("MATCH (a)-->(b)<--(c) RETURN a")
+        rels = query.clauses[0].patterns[0].relationships
+        assert rels[0].direction == ast.OUT
+        assert rels[1].direction == ast.IN
+
+    def test_relationship_types_alternation(self):
+        query = parse_query("MATCH (a)-[r:T1|T2]->(b) RETURN r")
+        assert query.clauses[0].patterns[0].relationships[0].types == ("T1", "T2")
+
+    def test_node_properties_inline(self):
+        query = parse_query("MATCH (a {id: 3}) RETURN a")
+        node = query.clauses[0].patterns[0].nodes[0]
+        assert node.properties is not None
+
+    def test_unwind(self):
+        query = parse_query("UNWIND [1,2] AS x RETURN x")
+        assert isinstance(query.clauses[0], ast.Unwind)
+        assert query.clauses[0].alias == "x"
+
+    def test_with_full(self):
+        query = parse_query(
+            "MATCH (n) WITH DISTINCT n.x AS x ORDER BY x DESC SKIP 1 LIMIT 2 "
+            "WHERE x > 0 RETURN x"
+        )
+        with_clause = query.clauses[1]
+        assert with_clause.distinct
+        assert with_clause.order_by[0].descending
+        assert with_clause.skip == ast.Literal(1)
+        assert with_clause.limit == ast.Literal(2)
+        assert with_clause.where is not None
+
+    def test_return_order_by_asc_default(self):
+        query = parse_query("MATCH (n) RETURN n.x ORDER BY n.x ASC")
+        assert not query.clauses[1].order_by[0].descending
+
+    def test_union(self):
+        query = parse_query("RETURN 1 AS x UNION RETURN 2 AS x")
+        assert isinstance(query, ast.UnionQuery)
+        assert not query.all
+
+    def test_union_all_chain(self):
+        query = parse_query(
+            "RETURN 1 AS x UNION ALL RETURN 2 AS x UNION RETURN 3 AS x"
+        )
+        assert isinstance(query, ast.UnionQuery)
+        assert not query.all
+        assert isinstance(query.left, ast.UnionQuery)
+        assert query.left.all
+
+    def test_call_with_yield(self):
+        query = parse_query("CALL db.labels() YIELD label RETURN label")
+        call = query.clauses[0]
+        assert call.procedure == "db.labels"
+        assert call.yield_items == (("label", None),)
+
+    def test_call_yield_alias(self):
+        query = parse_query("CALL db.labels() YIELD label AS l RETURN l")
+        assert query.clauses[0].yield_items == (("label", "l"),)
+
+    def test_create(self):
+        query = parse_query("CREATE (n:L {id: 1})-[r:T]->(m)")
+        assert isinstance(query.clauses[0], ast.Create)
+
+    def test_set(self):
+        query = parse_query("MATCH (n) SET n.x = 1, n.y = 2")
+        assert len(query.clauses[1].items) == 2
+
+    def test_delete_and_detach(self):
+        plain = parse_query("MATCH (n) DELETE n")
+        detach = parse_query("MATCH (n) DETACH DELETE n")
+        assert not plain.clauses[1].detach
+        assert detach.clauses[1].detach
+
+    def test_remove(self):
+        query = parse_query("MATCH (n) REMOVE n.x, n:L")
+        items = query.clauses[1].items
+        assert items[0].key == "x"
+        assert items[1].label == "L"
+
+    def test_merge(self):
+        query = parse_query("MERGE (n:L {id: 1})")
+        assert isinstance(query.clauses[0], ast.Merge)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("FOO BAR")
+
+
+PAPER_QUERIES = [
+    # Figure 1 (FalkorDB bug).
+    "MATCH (n2)<-[r1]->(n0), (n3)-[r2]->(n4)-[r3]->(n5) WHERE r1.id=13 "
+    "UNWIND [n5.k2 <> r3.id, false] as a1 "
+    "WITH DISTINCT n2, r3, n3, n4, n5, endNode(r1) as a2, n0 "
+    "MATCH (n2)<-[r4:t10]->(n0), (n3)-[r5]->(n4)-[r6]->(n5) "
+    "WHERE (((r6.k85)+(n2.k11)) ENDS WITH 'q11cZH6h') AND "
+    "((n2.k9) = -1982025281) AND (n5.k2<=-881779936) "
+    "RETURN n2.id as a3, r6.id as a4",
+    # Figure 9 (Memgraph hang).
+    "WITH replace('ts15G', '', 'U11sWFvRw') AS a0 RETURN a0",
+    # Figure 17 (FalkorDB UNWIND bug).
+    "UNWIND [1,2,3] AS a0 MATCH (n2 :L12)-[r1]-(n3) "
+    "WHERE (((r1.id) = 13) AND true) RETURN a0",
+    # Figure 2 second query.
+    "MATCH (p :USER)-[r :LIKE]->(m :MOVIE) WHERE p.name = 'Alice' AND "
+    "r.rating >= 8 UNWIND m.genre AS LikedGenre "
+    "WITH DISTINCT m.name AS MovieName, m, LikedGenre "
+    "RETURN MovieName, m.year",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_paper_queries_round_trip(self, text):
+        tree = parse_query(text)
+        printed = print_query(tree)
+        reparsed = parse_query(printed)
+        assert print_query(reparsed) == printed
+
+    def test_round_trip_is_fixpoint(self):
+        text = "MATCH (a:L1 {x: 1})-[r:T1|T2]-(b) WHERE a.y IS NOT NULL " \
+               "RETURN DISTINCT a.x AS v ORDER BY v DESC LIMIT 3"
+        once = print_query(parse_query(text))
+        twice = print_query(parse_query(once))
+        assert once == twice

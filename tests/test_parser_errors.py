@@ -1,0 +1,94 @@
+"""Parser robustness: malformed input must raise ParseError, never crash."""
+
+import pytest
+
+from repro.cypher.parser import ParseError, parse_expression, parse_query
+
+
+MALFORMED_QUERIES = [
+    "",
+    "MATCH",
+    "MATCH (",
+    "MATCH (n",
+    "MATCH (n))",
+    "MATCH (n) RETURN",
+    "MATCH (n) RETURN n AS",
+    "MATCH (n)-[r] RETURN n",
+    "MATCH (n)-[r]-> RETURN n",
+    "MATCH (n) WHERE RETURN n",
+    "UNWIND [1,2] x RETURN x",
+    "UNWIND [1,2] AS RETURN x",
+    "WITH RETURN 1",
+    "RETURN 1 AS x UNION",
+    "CALL RETURN 1",
+    "CALL db.labels( RETURN 1",
+    "MATCH (n) SET n = 1",
+    "MATCH (n) REMOVE n",
+    "MERGE RETURN 1",
+    "RETURN 1 2",
+    "MATCH (n:) RETURN n",
+    "MATCH (n) ORDER BY n RETURN n",
+    "RETURN CASE END",
+    "RETURN [1, 2",
+    "RETURN {a: }",
+    "RETURN 'unclosed",
+    "RETURN `unclosed",
+    "RETURN @",
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED_QUERIES)
+def test_malformed_queries_raise_parse_error(text):
+    with pytest.raises(ParseError):
+        parse_query(text)
+
+
+MALFORMED_EXPRESSIONS = [
+    "",
+    "1 +",
+    "(1",
+    "abs(",
+    "n.",
+    "[1,",
+    "{a:",
+    "CASE WHEN 1 THEN",
+    "x IS",
+    "x IS NOT",
+    "NOT",
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED_EXPRESSIONS)
+def test_malformed_expressions_raise_parse_error(text):
+    with pytest.raises(ParseError):
+        parse_expression(text)
+
+
+class TestErrorPositions:
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("MATCH (n) RETURN n AS")
+        assert "at" in str(excinfo.value)
+
+    def test_trailing_garbage_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_expression("1 1")
+        assert "trailing" in str(excinfo.value)
+
+
+class TestAlmostValid:
+    """Inputs near the grammar boundary that must parse."""
+
+    @pytest.mark.parametrize("text", [
+        "MATCH (n) RETURN n ORDER BY n ASCENDING",
+        "MATCH (n) RETURN n ORDER BY n DESCENDING",
+        "RETURN 1 AS all",               # soft keyword as alias
+        "RETURN 1 AS end",
+        "MATCH (n)-[r:T|U]->(m) RETURN n",
+        "MATCH (n)-[r:T|:U]->(m) RETURN n",  # alternative alternation form
+        "MATCH (`weird name`) RETURN 1 AS x",
+        "RETURN 1.5e3 AS x",
+        "RETURN 1e-2 AS x",
+    ])
+    def test_parses(self, text):
+        parse_query(text)

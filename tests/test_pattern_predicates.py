@@ -1,0 +1,95 @@
+"""Tests for pattern predicates in WHERE (`WHERE (a)-[:T]->(b)`)."""
+
+import pytest
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_expression, parse_query
+from repro.cypher.printer import print_query
+from repro.engine.executor import Executor
+from repro.graph.model import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    g.add_node(["A"], {"id": 0})
+    g.add_node(["B"], {"id": 1})
+    g.add_node(["A"], {"id": 2})   # no outgoing edges
+    g.add_relationship(0, 1, "T", {"id": 0})
+    g.add_relationship(1, 0, "U", {"id": 1})
+    return g
+
+
+def run(graph, text):
+    return Executor(graph).execute(parse_query(text))
+
+
+class TestParsing:
+    def test_recognized_in_where(self):
+        query = parse_query("MATCH (n) WHERE (n)-[:T]->() RETURN n")
+        where = query.clauses[0].where
+        assert isinstance(where, ast.PatternPredicate)
+
+    def test_parenthesized_expression_not_confused(self):
+        expr = parse_expression("(1 + 2)")
+        assert expr == ast.Binary("+", ast.Literal(1), ast.Literal(2))
+
+    def test_labels_predicate_not_confused(self):
+        expr = parse_expression("(n:L1)")
+        assert isinstance(expr, ast.LabelsPredicate)
+
+    def test_composable_with_logic(self):
+        query = parse_query(
+            "MATCH (n) WHERE (n)-[:T]->() AND n.id >= 0 RETURN n"
+        )
+        where = query.clauses[0].where
+        assert isinstance(where, ast.Binary) and where.op == "AND"
+        assert isinstance(where.left, ast.PatternPredicate)
+
+    def test_round_trip(self):
+        text = "MATCH (n) WHERE (n)-[:T]->(m:B) RETURN n.id AS v"
+        printed = print_query(parse_query(text))
+        assert print_query(parse_query(printed)) == printed
+
+    def test_variables_reported(self):
+        expr = parse_expression("(a)-[r:T]->(b)")
+        assert set(expr.variables()) == {"a", "r", "b"}
+
+
+class TestEvaluation:
+    def test_filters_to_matching_nodes(self, graph):
+        rows = run(graph, "MATCH (n:A) WHERE (n)-[:T]->() RETURN n.id AS v")
+        assert rows.rows == [(0,)]
+
+    def test_negated(self, graph):
+        rows = run(graph, "MATCH (n:A) WHERE NOT (n)-[:T]->() RETURN n.id AS v")
+        assert rows.rows == [(2,)]
+
+    def test_direction_respected(self, graph):
+        rows = run(graph, "MATCH (n) WHERE (n)<-[:T]-() RETURN n.id AS v")
+        assert rows.rows == [(1,)]
+
+    def test_two_bound_endpoints(self, graph):
+        rows = run(
+            graph,
+            "MATCH (a:A), (b:B) WHERE (a)-[:T]->(b) RETURN a.id AS a, b.id AS b",
+        )
+        assert rows.rows == [(0, 1)]
+
+    def test_label_constraint_inside_pattern(self, graph):
+        rows = run(graph, "MATCH (n) WHERE (n)-[]->(:A) RETURN n.id AS v")
+        assert rows.rows == [(1,)]
+
+    def test_null_binding_is_false(self, graph):
+        rows = run(
+            graph,
+            "OPTIONAL MATCH (n:GHOST) WITH n WHERE (n)-[:T]->() RETURN n",
+        )
+        assert len(rows) == 0
+
+    def test_works_in_with_where(self, graph):
+        rows = run(
+            graph,
+            "MATCH (n:A) WITH n WHERE (n)-[:T]->() RETURN n.id AS v",
+        )
+        assert rows.rows == [(0,)]

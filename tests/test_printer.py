@@ -1,0 +1,180 @@
+"""Tests for AST-to-Cypher rendering."""
+
+import pytest
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_expression, parse_query
+from repro.cypher.printer import (
+    print_clause,
+    print_expression,
+    print_pattern,
+    print_query,
+)
+
+
+class TestLiterals:
+    @pytest.mark.parametrize("value,text", [
+        (None, "null"),
+        (True, "true"),
+        (False, "false"),
+        (42, "42"),
+        (-3, "-3"),
+        (1.5, "1.5"),
+        ("hi", "'hi'"),
+    ])
+    def test_scalars(self, value, text):
+        assert print_expression(ast.Literal(value)) == text
+
+    def test_string_escaping(self):
+        rendered = print_expression(ast.Literal("a'b\\c"))
+        assert parse_expression(rendered) == ast.Literal("a'b\\c")
+
+    def test_float_round_trip_exact(self):
+        value = 0.30000000000000004
+        rendered = print_expression(ast.Literal(value))
+        assert parse_expression(rendered) == ast.Literal(value)
+
+
+class TestExpressions:
+    def test_binary_parenthesized(self):
+        expr = ast.Binary("+", ast.Literal(1), ast.Literal(2))
+        assert print_expression(expr) == "((1) + (2))"
+
+    def test_keyword_operator(self):
+        expr = ast.Binary("STARTS WITH", ast.Literal("ab"), ast.Literal("a"))
+        assert "STARTS WITH" in print_expression(expr)
+
+    def test_not_rendering(self):
+        expr = ast.Unary("NOT", ast.Literal(True))
+        assert print_expression(expr) == "(NOT (true))"
+
+    def test_is_null(self):
+        expr = ast.IsNull(ast.Variable("x"), negated=True)
+        assert print_expression(expr) == "((x) IS NOT NULL)"
+
+    def test_function_with_distinct(self):
+        expr = ast.FunctionCall("collect", (ast.Variable("x"),), distinct=True)
+        assert print_expression(expr) == "collect(DISTINCT x)"
+
+    def test_count_star(self):
+        assert print_expression(ast.CountStar()) == "count(*)"
+
+    def test_case(self):
+        expr = ast.CaseExpression(
+            None,
+            (ast.CaseAlternative(ast.Literal(True), ast.Literal(1)),),
+            ast.Literal(2),
+        )
+        assert print_expression(expr) == "(CASE WHEN true THEN 1 ELSE 2 END)"
+
+    def test_property_chain(self):
+        expr = ast.PropertyAccess(
+            ast.PropertyAccess(ast.Variable("n"), "a"), "b"
+        )
+        assert print_expression(expr) == "n.a.b"
+
+    def test_property_on_function_parenthesized(self):
+        expr = ast.PropertyAccess(
+            ast.FunctionCall("endNode", (ast.Variable("r"),)), "id"
+        )
+        assert print_expression(expr) == "(endNode(r)).id"
+
+
+class TestPatterns:
+    def test_node_full(self):
+        node = ast.NodePattern("n", ("A", "B"))
+        assert print_pattern(ast.PathPattern((node,))) == "(n:A:B)"
+
+    def test_anonymous_node(self):
+        assert print_pattern(ast.PathPattern((ast.NodePattern(),))) == "()"
+
+    def test_directions(self):
+        a, b = ast.NodePattern("a"), ast.NodePattern("b")
+        for direction, text in [
+            (ast.OUT, "(a)-[r]->(b)"),
+            (ast.IN, "(a)<-[r]-(b)"),
+            (ast.BOTH, "(a)-[r]-(b)"),
+        ]:
+            pattern = ast.PathPattern(
+                (a, b), (ast.RelationshipPattern("r", (), direction),)
+            )
+            assert print_pattern(pattern) == text
+
+    def test_rel_types(self):
+        pattern = ast.PathPattern(
+            (ast.NodePattern("a"), ast.NodePattern("b")),
+            (ast.RelationshipPattern("r", ("T1", "T2")),),
+        )
+        assert print_pattern(pattern) == "(a)-[r:T1|T2]->(b)"
+
+    def test_anonymous_rel(self):
+        pattern = ast.PathPattern(
+            (ast.NodePattern("a"), ast.NodePattern("b")),
+            (ast.RelationshipPattern(),),
+        )
+        assert print_pattern(pattern) == "(a)-[]->(b)"
+
+    def test_inline_properties(self):
+        props = ast.MapLiteral((("id", ast.Literal(1)),))
+        pattern = ast.PathPattern((ast.NodePattern("n", (), props),))
+        assert print_pattern(pattern) == "(n {id: 1})"
+
+
+class TestClauses:
+    def test_optional_match(self):
+        clause = ast.Match(
+            (ast.PathPattern((ast.NodePattern("n"),)),), optional=True
+        )
+        assert print_clause(clause).startswith("OPTIONAL MATCH")
+
+    def test_with_everything(self):
+        clause = ast.With(
+            (ast.ProjectionItem(ast.Variable("n")),),
+            distinct=True,
+            order_by=(ast.OrderItem(ast.Variable("n"), True),),
+            skip=ast.Literal(1),
+            limit=ast.Literal(2),
+            where=ast.IsNull(ast.Variable("n"), negated=True),
+        )
+        text = print_clause(clause)
+        assert text == (
+            "WITH DISTINCT n ORDER BY n DESC SKIP 1 LIMIT 2 "
+            "WHERE ((n) IS NOT NULL)"
+        )
+
+    def test_write_clauses(self):
+        assert print_clause(
+            ast.Delete((ast.Variable("n"),), detach=True)
+        ) == "DETACH DELETE n"
+        assert print_clause(
+            ast.SetClause((ast.SetItem("n", "x", ast.Literal(1)),))
+        ) == "SET n.x = 1"
+        assert print_clause(
+            ast.Remove((ast.RemoveItem("n", key="x"),
+                        ast.RemoveItem("n", label="L")))
+        ) == "REMOVE n.x, n:L"
+        assert print_clause(
+            ast.Merge(ast.PathPattern((ast.NodePattern("n", ("L",)),)))
+        ) == "MERGE (n:L)"
+
+    def test_union_rendering(self):
+        q1 = ast.Query((ast.Return((ast.ProjectionItem(ast.Literal(1), "x"),)),))
+        q2 = ast.Query((ast.Return((ast.ProjectionItem(ast.Literal(2), "x"),)),))
+        assert print_query(ast.UnionQuery(q1, q2, all=True)) == (
+            "RETURN 1 AS x UNION ALL RETURN 2 AS x"
+        )
+
+    def test_call_rendering(self):
+        clause = ast.Call("db.labels", (), (("label", "l"),))
+        assert print_clause(clause) == "CALL db.labels() YIELD label AS l"
+
+
+class TestRoundTripStability:
+    @pytest.mark.parametrize("text", [
+        "MATCH (a:L {x: 1})-[r:T]->(b) WHERE ((a.y) IS NULL) RETURN a.x AS v",
+        "UNWIND [1, 2] AS x WITH DISTINCT x RETURN x ORDER BY x DESC",
+        "MATCH (n) RETURN count(*), collect(DISTINCT n.x) AS xs",
+    ])
+    def test_fixpoint(self, text):
+        once = print_query(parse_query(text))
+        assert print_query(parse_query(once)) == once

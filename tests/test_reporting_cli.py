@@ -1,0 +1,105 @@
+"""Tests for campaign persistence and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.reporting import (
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign,
+    save_campaign,
+)
+from repro.core.runner import BugReport, CampaignResult, GQSTester
+from repro.gdb import create_engine
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    engine = create_engine("falkordb", gate_scale=0.05)
+    return GQSTester().run(engine, budget_seconds=20.0, seed=4)
+
+
+class TestReporting:
+    def test_round_trip(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        loaded = load_campaign(path)
+        assert loaded.tester == campaign.tester
+        assert loaded.engine == campaign.engine
+        assert loaded.queries_run == campaign.queries_run
+        assert loaded.sim_seconds == campaign.sim_seconds
+        assert loaded.detected_faults == campaign.detected_faults
+        assert len(loaded.reports) == len(campaign.reports)
+        assert loaded.timeline == campaign.timeline
+        assert loaded.trigger_records == campaign.trigger_records
+
+    def test_json_is_plain(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        data = json.loads(path.read_text())
+        assert data["tester"] == "GQS"
+        for report in data["reports"]:
+            assert set(report) == {
+                "tester", "engine", "kind", "detail", "query",
+                "fault_id", "sim_time", "n_steps",
+            }
+
+    def test_report_round_trip_preserves_fp_flag(self):
+        original = CampaignResult("T", "e")
+        original.reports = [BugReport("T", "e", "logic", "d", "q", None, 1.0)]
+        restored = campaign_from_dict(campaign_to_dict(original))
+        assert restored.reports[0].is_false_positive
+
+    def test_figures_work_on_loaded_campaign(self, campaign, tmp_path):
+        """A stored campaign can be re-analyzed without re-running."""
+        from repro.experiments import figure13
+
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        loaded = load_campaign(path)
+        if loaded.trigger_records:
+            histogram = figure13(loaded.trigger_records)
+            assert sum(histogram.values()) == len(loaded.trigger_records)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "--engine", "kuzu"])
+        assert args.command == "campaign"
+        args = parser.parse_args(["table", "5"])
+        assert args.id == 5
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table", "9"])
+
+    def test_synthesize_command(self, capsys):
+        assert main(["synthesize", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "expected result set" in out
+        assert "RETURN" in out
+
+    def test_synthesize_with_gremlin(self, capsys):
+        assert main(["synthesize", "--seed", "3", "--gremlin"]) == 0
+        out = capsys.readouterr().out
+        assert "Gremlin translation" in out
+
+    def test_campaign_command_with_export(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        code = main([
+            "campaign", "--engine", "falkordb", "--minutes", "0.3",
+            "--seed", "1", "--gate-scale", "0.05", "--out", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        printed = capsys.readouterr().out
+        assert "distinct bugs" in printed
+
+    def test_campaign_unsupported_pairing(self, capsys):
+        code = main(["campaign", "--engine", "memgraph", "--tester", "GDBMeter"])
+        assert code == 2
+
+    def test_table2_command(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "Neo4j" in capsys.readouterr().out

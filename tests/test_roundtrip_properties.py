@@ -1,0 +1,153 @@
+"""Property test: printer and parser are inverse on generated ASTs.
+
+Hypothesis builds random expression and query trees directly over the AST
+constructors; printing then reparsing must reproduce the tree exactly (up to
+the printer's canonical parenthesization, which the second print exposes).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_expression, parse_query
+from repro.cypher.printer import print_expression, print_query
+
+identifiers = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,5}", fullmatch=True).filter(
+    # Avoid colliding with keywords the lexer would uppercase.
+    lambda s: s.upper() not in {
+        "AND", "OR", "XOR", "NOT", "IN", "IS", "NULL", "TRUE", "FALSE",
+        "CASE", "WHEN", "THEN", "ELSE", "END", "MATCH", "RETURN", "WITH",
+        "UNWIND", "AS", "WHERE", "ORDER", "BY", "SKIP", "LIMIT", "UNION",
+        "ALL", "CALL", "YIELD", "DISTINCT", "OPTIONAL", "CREATE", "SET",
+        "DELETE", "DETACH", "REMOVE", "MERGE", "STARTS", "ENDS", "CONTAINS",
+        "DESC", "ASC", "DESCENDING", "ASCENDING", "ON",
+    }
+)
+
+literal_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=8
+    ),
+)
+
+_BINARY_OPS = [
+    "+", "-", "*", "/", "%", "^", "=", "<>", "<", "<=", ">", ">=",
+    "AND", "OR", "XOR", "IN", "STARTS WITH", "ENDS WITH", "CONTAINS",
+]
+
+
+def expressions(max_depth=4):
+    leaves = st.one_of(
+        literal_values.map(ast.Literal),
+        identifiers.map(ast.Variable),
+        st.builds(
+            ast.PropertyAccess,
+            identifiers.map(ast.Variable),
+            identifiers,
+        ),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(
+                ast.Binary, st.sampled_from(_BINARY_OPS), children, children
+            ),
+            st.builds(ast.Unary, st.just("NOT"), children),
+            st.builds(ast.IsNull, children, st.booleans()),
+            st.builds(
+                ast.FunctionCall,
+                st.sampled_from(["abs", "head", "toString", "coalesce", "size"]),
+                st.tuples(children),
+            ),
+            st.lists(children, max_size=3).map(
+                lambda items: ast.ListLiteral(tuple(items))
+            ),
+            st.builds(ast.ListIndex, children, children),
+            st.builds(
+                ast.CaseExpression,
+                st.none(),
+                st.tuples(st.builds(ast.CaseAlternative, children, children)),
+                children,
+            ),
+            st.builds(
+                ast.ListComprehension,
+                identifiers,
+                children,
+                st.none(),
+                children,
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class TestExpressionRoundTrip:
+    @given(expressions())
+    @settings(max_examples=250, deadline=None)
+    def test_print_parse_print_is_stable(self, expr):
+        printed = print_expression(expr)
+        reparsed = parse_expression(printed)
+        assert print_expression(reparsed) == printed
+
+    @given(literal_values)
+    @settings(max_examples=150, deadline=None)
+    def test_literals_round_trip_exactly(self, value):
+        expr = ast.Literal(value)
+        reparsed = parse_expression(print_expression(expr))
+        assert reparsed == expr
+
+
+node_patterns = st.builds(
+    ast.NodePattern,
+    st.one_of(st.none(), identifiers),
+    st.lists(identifiers, max_size=2).map(tuple),
+    st.none(),
+)
+rel_patterns = st.builds(
+    ast.RelationshipPattern,
+    st.one_of(st.none(), identifiers),
+    st.lists(identifiers, max_size=2).map(tuple),
+    st.sampled_from([ast.OUT, ast.IN, ast.BOTH]),
+    st.none(),
+)
+
+
+@st.composite
+def path_patterns(draw):
+    length = draw(st.integers(min_value=0, max_value=2))
+    nodes = tuple(draw(node_patterns) for _ in range(length + 1))
+    rels = tuple(draw(rel_patterns) for _ in range(length))
+    return ast.PathPattern(nodes, rels)
+
+
+@st.composite
+def queries(draw):
+    clauses = []
+    n_match = draw(st.integers(min_value=1, max_value=2))
+    for _ in range(n_match):
+        patterns = tuple(
+            draw(path_patterns())
+            for _ in range(draw(st.integers(min_value=1, max_value=2)))
+        )
+        where = draw(st.one_of(st.none(), expressions(max_depth=2)))
+        clauses.append(ast.Match(patterns, draw(st.booleans()), where))
+    items = tuple(
+        ast.ProjectionItem(draw(expressions(max_depth=2)), f"c{i}")
+        for i in range(draw(st.integers(min_value=1, max_value=3)))
+    )
+    clauses.append(ast.Return(items, distinct=draw(st.booleans())))
+    return ast.Query(tuple(clauses))
+
+
+class TestQueryRoundTrip:
+    @given(queries())
+    @settings(max_examples=120, deadline=None)
+    def test_print_parse_print_is_stable(self, query):
+        printed = print_query(query)
+        reparsed = parse_query(printed)
+        assert print_query(reparsed) == printed

@@ -1,0 +1,213 @@
+"""Tests for ground-truth seeding and the Algorithm 1 scheduler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ground_truth import build_constraint_graph, select_ground_truth
+from repro.core.operations import ConstraintGraph, OpKind, Operation
+from repro.core.scheduler import schedule
+from repro.graph.generator import GraphGenerator
+
+
+def make_graph(seed=0):
+    return GraphGenerator(seed=seed).generate()
+
+
+class TestGroundTruthSelection:
+    def test_size_bounds(self):
+        graph = make_graph()
+        rng = random.Random(0)
+        for _ in range(50):
+            gt = select_ground_truth(graph, rng, max_size=6)
+            assert 1 <= len(gt) <= 6
+
+    def test_values_match_graph(self):
+        graph = make_graph()
+        gt = select_ground_truth(graph, random.Random(1))
+        for entry in gt.entries:
+            assert graph.property_value(entry.key) == entry.value
+
+    def test_aliases_sequential(self):
+        graph = make_graph()
+        gt = select_ground_truth(graph, random.Random(2))
+        assert gt.columns() == [f"a{i}" for i in range(len(gt))]
+
+    def test_alias_start_offset(self):
+        graph = make_graph()
+        gt = select_ground_truth(graph, random.Random(2), alias_start=5)
+        assert gt.columns()[0] == "a5"
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.model import PropertyGraph
+
+        with pytest.raises(ValueError):
+            select_ground_truth(PropertyGraph(), random.Random(0))
+
+
+class TestConstraintGraph:
+    def test_duplicate_operation_rejected(self):
+        cg = ConstraintGraph()
+        op = Operation(OpKind.ALIAS_ADD, "a0")
+        cg.add_operation(op)
+        with pytest.raises(ValueError):
+            cg.add_operation(op)
+
+    def test_cycle_detection(self):
+        cg = ConstraintGraph()
+        op1 = cg.add_operation(Operation(OpKind.ALIAS_ADD, "a0"))
+        op2 = cg.add_operation(Operation(OpKind.ALIAS_REMOVE, "a0"))
+        cg.add_strict(op1, op2)
+        cg.add_strict(op2, op1)
+        with pytest.raises(ValueError):
+            cg.validate_acyclic()
+
+    def test_remove_updates_degrees(self):
+        cg = ConstraintGraph()
+        op1 = cg.add_operation(Operation(OpKind.ALIAS_ADD, "a0"))
+        op2 = cg.add_operation(Operation(OpKind.ALIAS_REMOVE, "a0"))
+        cg.add_strict(op1, op2)
+        assert cg.indegree(op2) == 1
+        cg.remove([op1])
+        assert cg.indegree(op2) == 0
+
+
+class TestSeeding:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_essential_operations_present(self, seed):
+        graph = make_graph(seed)
+        rng = random.Random(seed)
+        gt = select_ground_truth(graph, rng)
+        plan = build_constraint_graph(graph, gt, rng)
+        accesses = [
+            op for op in plan.graph.operations if op.kind == OpKind.PROP_ACCESS
+        ]
+        # One access per expected-result column, each mapped to its index.
+        assert {op.ground_truth_index for op in accesses} == set(range(len(gt)))
+        # Every ground-truth element has paired add/remove operations.
+        for entry in gt.entries:
+            element = (entry.key.element_kind, entry.key.element_id)
+            kinds = {
+                op.kind for op in plan.graph.operations if op.element == element
+            }
+            assert OpKind.ELEMENT_ADD in kinds
+            assert OpKind.ELEMENT_REMOVE in kinds
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_dag_is_acyclic(self, seed):
+        graph = make_graph(seed)
+        rng = random.Random(seed)
+        gt = select_ground_truth(graph, rng)
+        plan = build_constraint_graph(graph, gt, rng)
+        plan.graph.validate_acyclic()
+
+    def test_every_add_is_paired_with_removal(self):
+        graph = make_graph(3)
+        rng = random.Random(3)
+        gt = select_ground_truth(graph, rng)
+        plan = build_constraint_graph(graph, gt, rng)
+        adds = {
+            op.variable
+            for op in plan.graph.operations
+            if op.kind in (OpKind.ELEMENT_ADD, OpKind.ALIAS_ADD, OpKind.LIST_EXPAND)
+        }
+        removes = {
+            op.variable
+            for op in plan.graph.operations
+            if op.kind
+            in (OpKind.ELEMENT_REMOVE, OpKind.ALIAS_REMOVE, OpKind.LIST_TRUNCATE)
+        }
+        assert adds == removes
+
+
+class TestScheduling:
+    def _plan(self, seed):
+        graph = make_graph(seed)
+        rng = random.Random(seed)
+        gt = select_ground_truth(graph, rng)
+        return build_constraint_graph(graph, gt, rng), rng
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_all_operations_scheduled_exactly_once(self, seed):
+        plan, rng = self._plan(seed)
+        all_ops = list(plan.graph.operations)
+        steps = schedule(plan.graph, rng)
+        scheduled = [op for step in steps for op in step.operations]
+        assert sorted(map(str, scheduled)) == sorted(map(str, all_ops))
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_temporal_constraints_respected(self, seed):
+        """E+ strictly before (E.p)+; adds never after their removals."""
+        plan, rng = self._plan(seed)
+        steps = schedule(plan.graph, rng)
+        ops_by_step = [
+            {(op.kind, op.variable) for op in step.operations} for step in steps
+        ]
+
+        def step_of(kind, var):
+            for index, ops in enumerate(ops_by_step):
+                if (kind, var) in ops:
+                    return index
+            return None
+
+        for (element, var) in plan.element_vars.items():
+            add_step = step_of(OpKind.ELEMENT_ADD, var)
+            remove_step = step_of(OpKind.ELEMENT_REMOVE, var)
+            if add_step is not None and remove_step is not None:
+                assert add_step <= remove_step
+        for alias in plan.supplementary_aliases:
+            assert step_of(OpKind.ALIAS_ADD, alias) < step_of(
+                OpKind.ALIAS_REMOVE, alias
+            )
+        for alias in plan.list_aliases:
+            assert step_of(OpKind.LIST_EXPAND, alias) < step_of(
+                OpKind.LIST_TRUNCATE, alias
+            )
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_steps_have_consistent_clause_family(self, seed):
+        plan, rng = self._plan(seed)
+        steps = schedule(plan.graph, rng)
+        for step in steps:
+            assert step.clause_kinds  # non-empty intersection
+            for op in step.operations:
+                assert step.clause_kinds <= op.clause_kinds or (
+                    step.clause_kinds & op.clause_kinds
+                )
+
+    def test_low_probability_spreads_steps(self):
+        """Statistically, a lower rand() gate yields more steps."""
+        dense_total = sparse_total = 0
+        for seed in range(20):
+            plan_a, rng_a = self._plan(seed)
+            dense_total += len(schedule(plan_a.graph, rng_a, include_probability=0.95))
+            plan_b, rng_b = self._plan(seed)
+            sparse_total += len(schedule(plan_b.graph, rng_b, include_probability=0.15))
+        assert sparse_total > dense_total
+
+    def test_referenceable_variables_accumulate(self):
+        plan, rng = self._plan(11)
+        steps = schedule(plan.graph, rng)
+        seen = set()
+        for step in steps:
+            introduced = {
+                op.variable
+                for op in step.operations
+                if op.kind in (OpKind.ELEMENT_ADD, OpKind.ALIAS_ADD,
+                               OpKind.LIST_EXPAND, OpKind.PROP_ACCESS)
+            }
+            removed = {
+                op.variable
+                for op in step.operations
+                if op.kind in (OpKind.ELEMENT_REMOVE, OpKind.ALIAS_REMOVE,
+                               OpKind.LIST_TRUNCATE)
+            }
+            seen = (seen | introduced) - removed
+            assert set(step.referenceable) == seen

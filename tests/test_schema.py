@@ -1,0 +1,60 @@
+"""Dedicated tests for the graph schema module."""
+
+import random
+
+import pytest
+
+from repro.graph.schema import PROPERTY_TYPES, GraphSchema, PropertySpec
+
+
+class TestPropertySpec:
+    def test_valid_types(self):
+        for ptype in PROPERTY_TYPES:
+            PropertySpec("k", ptype)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            PropertySpec("k", "TIMESTAMP")
+
+    def test_frozen(self):
+        spec = PropertySpec("k", "INTEGER")
+        with pytest.raises(AttributeError):
+            spec.name = "other"
+
+
+class TestGraphSchema:
+    def test_random_dimensions_configurable(self):
+        schema = GraphSchema.random(
+            random.Random(0), n_labels=3, n_rel_types=2,
+            n_node_properties=4, n_rel_properties=1,
+        )
+        assert len(schema.labels) == 3
+        assert len(schema.relationship_types) == 2
+        assert len(schema.node_properties) == 4
+        assert len(schema.rel_properties) == 1
+
+    def test_naming_convention(self):
+        """The paper's vocabulary: L<i> labels, T<i> types, k<i> properties."""
+        schema = GraphSchema.random(random.Random(1))
+        assert all(label.startswith("L") for label in schema.labels)
+        assert all(t.startswith("T") for t in schema.relationship_types)
+        names = [s.name for s in schema.node_properties + schema.rel_properties]
+        assert all(name.startswith("k") for name in names)
+
+    def test_property_type_lookup_spans_both_pools(self):
+        schema = GraphSchema.random(random.Random(2))
+        node_name = schema.node_properties[0].name
+        rel_name = schema.rel_properties[0].name
+        assert schema.property_type(node_name) is not None
+        assert schema.property_type(rel_name) is not None
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        schema = GraphSchema.random(random.Random(3))
+        json.dumps(schema.describe())  # must not raise
+
+    def test_deterministic_given_rng(self):
+        a = GraphSchema.random(random.Random(4))
+        b = GraphSchema.random(random.Random(4))
+        assert a.describe() == b.describe()

@@ -1,0 +1,167 @@
+"""End-to-end tests for the GQS query synthesizer.
+
+The central property (the paper's soundness requirement): executing the
+synthesized query on a *correct* engine yields exactly the established
+expected result set.  Any failure here would mean GQS reports false
+positives — the flaw the approach exists to eliminate.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuerySynthesizer, SynthesizerConfig, check_result
+from repro.core.ground_truth import select_ground_truth
+from repro.cypher import ast
+from repro.cypher.parser import parse_query
+from repro.cypher.printer import print_query
+from repro.engine import Executor
+from repro.graph.generator import GraphGenerator
+
+
+def synthesize(seed, config=None):
+    generator = GraphGenerator(seed=seed)
+    schema, graph = generator.generate_with_schema()
+    synthesizer = QuerySynthesizer(graph, rng=random.Random(seed), config=config)
+    return graph, synthesizer.synthesize()
+
+
+class TestSoundness:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=120, deadline=None)
+    def test_query_reproduces_ground_truth(self, seed):
+        graph, result = synthesize(seed)
+        actual = Executor(graph.copy()).execute(result.query)
+        verdict = check_result(result.expected, actual)
+        assert verdict.passed, verdict.reason
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_query_text_round_trips(self, seed):
+        """The printed query parses back and still produces the same result."""
+        graph, result = synthesize(seed)
+        reparsed = parse_query(print_query(result.query))
+        actual = Executor(graph.copy()).execute(reparsed)
+        assert check_result(result.expected, actual).passed
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_kuzu_dialect_soundness(self, seed):
+        """With uniqueness predicates, results also hold on engines that do
+        not enforce relationship uniqueness (the Kùzu/FalkorDB dialect)."""
+        generator = GraphGenerator(seed=seed)
+        schema, graph = generator.generate_with_schema()
+        config = SynthesizerConfig(
+            needs_uniqueness_predicates=True, supports_call_procedures=False
+        )
+        synthesizer = QuerySynthesizer(graph, rng=random.Random(seed), config=config)
+        result = synthesizer.synthesize()
+        loose = Executor(graph.copy(), enforce_rel_uniqueness=False)
+        actual = loose.execute(result.query)
+        assert check_result(result.expected, actual).passed
+
+    def test_expected_columns_match_ground_truth(self):
+        graph, result = synthesize(17)
+        assert result.expected.columns == result.ground_truth.columns()
+
+    def test_expected_rows_are_ground_truth_copies(self):
+        graph, result = synthesize(23)
+        for row in result.expected.rows:
+            assert row == result.ground_truth.row()
+
+
+class TestReproducibility:
+    def test_same_seed_same_query(self):
+        _g1, r1 = synthesize(99)
+        _g2, r2 = synthesize(99)
+        assert print_query(r1.query) == print_query(r2.query)
+
+    def test_different_seeds_differ(self):
+        _g1, r1 = synthesize(1)
+        _g2, r2 = synthesize(2)
+        assert print_query(r1.query) != print_query(r2.query)
+
+
+class TestStructure:
+    def test_step_counts_recorded(self):
+        for seed in range(10):
+            _graph, result = synthesize(seed)
+            assert result.n_steps >= 2  # at least MATCH + RETURN
+            assert result.scheduled_steps >= 1
+
+    def test_last_clause_is_return(self):
+        for seed in range(20):
+            _graph, result = synthesize(seed)
+            query = result.query
+            while isinstance(query, ast.UnionQuery):
+                query = query.right
+            assert isinstance(query.clauses[-1], ast.Return)
+
+    def test_first_clause_introduces_data(self):
+        for seed in range(20):
+            _graph, result = synthesize(seed)
+            query = result.query
+            while isinstance(query, ast.UnionQuery):
+                query = query.left
+            first = query.clauses[0]
+            assert isinstance(first, (ast.Match, ast.Unwind, ast.Call))
+
+    def test_reusing_ground_truth_changes_query_not_columns(self):
+        generator = GraphGenerator(seed=77)
+        schema, graph = generator.generate_with_schema()
+        rng = random.Random(77)
+        synthesizer = QuerySynthesizer(graph, rng=rng)
+        gt = select_ground_truth(graph, rng)
+        r1 = synthesizer.synthesize(gt)
+        r2 = synthesizer.synthesize(gt)
+        assert r1.expected.columns == r2.expected.columns
+        assert print_query(r1.query) != print_query(r2.query)
+        # Both remain sound.
+        for result in (r1, r2):
+            actual = Executor(graph.copy()).execute(result.query)
+            assert check_result(result.expected, actual).passed
+
+
+class TestUnionSynthesis:
+    def test_union_queries_are_sound(self):
+        config = SynthesizerConfig(union_probability=1.0)
+        found_union = False
+        for seed in range(12):
+            generator = GraphGenerator(seed=seed)
+            schema, graph = generator.generate_with_schema()
+            synthesizer = QuerySynthesizer(
+                graph, rng=random.Random(seed), config=config
+            )
+            result = synthesizer.synthesize()
+            assert isinstance(result.query, ast.UnionQuery)
+            found_union = True
+            actual = Executor(graph.copy()).execute(result.query)
+            assert check_result(result.expected, actual).passed
+        assert found_union
+
+
+class TestMultiplicity:
+    def test_plain_truncation_leaves_copies(self):
+        """With plain truncation forced, some queries return several
+        identical rows (the Figure 7 situation: '6 rows of {...}')."""
+        config = SynthesizerConfig(
+            plain_truncation_probability=1.0,
+            distinct_probability=0.0,
+            limit_probability=0.0,
+            union_probability=0.0,
+        )
+        saw_multiplicity = False
+        for seed in range(40):
+            generator = GraphGenerator(seed=seed)
+            schema, graph = generator.generate_with_schema()
+            synthesizer = QuerySynthesizer(
+                graph, rng=random.Random(seed), config=config
+            )
+            result = synthesizer.synthesize()
+            actual = Executor(graph.copy()).execute(result.query)
+            assert check_result(result.expected, actual).passed
+            if len(result.expected) > 1:
+                saw_multiplicity = True
+        assert saw_multiplicity

@@ -1,0 +1,247 @@
+"""Tests for the Cypher value model (ternary logic, equivalence, ordering)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import values as V
+from repro.graph.model import Node, Relationship
+
+
+# ---------------------------------------------------------------------------
+# Ternary equality
+# ---------------------------------------------------------------------------
+
+class TestTernaryEquals:
+    def test_null_propagates(self):
+        assert V.ternary_equals(None, 1) is None
+        assert V.ternary_equals(1, None) is None
+        assert V.ternary_equals(None, None) is None
+
+    def test_numbers_cross_type(self):
+        assert V.ternary_equals(1, 1.0) is True
+        assert V.ternary_equals(1, 2.0) is False
+
+    def test_nan_never_equals(self):
+        assert V.ternary_equals(float("nan"), float("nan")) is False
+        assert V.ternary_equals(float("nan"), 1.0) is False
+
+    def test_strings(self):
+        assert V.ternary_equals("a", "a") is True
+        assert V.ternary_equals("a", "b") is False
+
+    def test_booleans_not_numbers(self):
+        # true = 1 is false in Cypher: booleans and numbers never compare equal.
+        assert V.ternary_equals(True, 1) is False
+        assert V.ternary_equals(False, 0) is False
+
+    def test_cross_type_is_false(self):
+        assert V.ternary_equals("1", 1) is False
+        assert V.ternary_equals([1], 1) is False
+
+    def test_list_structural(self):
+        assert V.ternary_equals([1, 2], [1, 2]) is True
+        assert V.ternary_equals([1, 2], [1, 3]) is False
+        assert V.ternary_equals([1, 2], [1]) is False
+
+    def test_list_null_propagation(self):
+        assert V.ternary_equals([1, None], [1, 2]) is None
+        assert V.ternary_equals([1, None], [2, None]) is False  # decided early
+        assert V.ternary_equals([1, None], [1, None]) is None
+
+    def test_map_structural(self):
+        assert V.ternary_equals({"a": 1}, {"a": 1}) is True
+        assert V.ternary_equals({"a": 1}, {"a": 2}) is False
+        assert V.ternary_equals({"a": 1}, {"b": 1}) is False
+        assert V.ternary_equals({"a": None}, {"a": 1}) is None
+
+    def test_nodes_by_identity(self):
+        node_a = Node(1, ["X"], {"p": 1})
+        node_b = Node(1, ["Y"], {"p": 2})
+        node_c = Node(2)
+        assert V.ternary_equals(node_a, node_b) is True
+        assert V.ternary_equals(node_a, node_c) is False
+
+    def test_relationships_by_identity(self):
+        rel_a = Relationship(5, "T", 0, 1)
+        rel_b = Relationship(5, "U", 2, 3)
+        assert V.ternary_equals(rel_a, rel_b) is True
+
+
+# ---------------------------------------------------------------------------
+# Ternary comparison
+# ---------------------------------------------------------------------------
+
+class TestTernaryCompare:
+    def test_numbers(self):
+        assert V.ternary_compare(1, 2) == -1
+        assert V.ternary_compare(2.5, 1) == 1
+        assert V.ternary_compare(3, 3.0) == 0
+
+    def test_null(self):
+        assert V.ternary_compare(None, 1) is None
+        assert V.ternary_compare("a", None) is None
+
+    def test_incomparable_types(self):
+        assert V.ternary_compare(1, "a") is None
+        assert V.ternary_compare(True, 1) is None
+
+    def test_strings_lexicographic(self):
+        assert V.ternary_compare("abc", "abd") == -1
+        assert V.ternary_compare("b", "a") == 1
+
+    def test_booleans(self):
+        assert V.ternary_compare(False, True) == -1
+
+    def test_nan_incomparable(self):
+        assert V.ternary_compare(float("nan"), 1.0) is None
+
+    def test_lists_elementwise(self):
+        assert V.ternary_compare([1, 2], [1, 3]) == -1
+        assert V.ternary_compare([1, 2], [1, 2]) == 0
+        assert V.ternary_compare([1, 2], [1]) == 1
+        assert V.ternary_compare([1, None], [2, 3]) == -1  # decided before null
+        assert V.ternary_compare([1, None], [1, 3]) is None
+
+
+# ---------------------------------------------------------------------------
+# Three-valued connectives
+# ---------------------------------------------------------------------------
+
+class TestKleeneLogic:
+    values = [True, False, None]
+
+    def test_and_truth_table(self):
+        assert V.ternary_and(True, True) is True
+        assert V.ternary_and(True, None) is None
+        assert V.ternary_and(False, None) is False
+        assert V.ternary_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert V.ternary_or(False, False) is False
+        assert V.ternary_or(True, None) is True
+        assert V.ternary_or(False, None) is None
+
+    def test_xor_truth_table(self):
+        assert V.ternary_xor(True, False) is True
+        assert V.ternary_xor(True, True) is False
+        assert V.ternary_xor(True, None) is None
+
+    def test_not(self):
+        assert V.ternary_not(True) is False
+        assert V.ternary_not(None) is None
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_de_morgan(self, a, b):
+        assert V.ternary_not(V.ternary_and(a, b)) == V.ternary_or(
+            V.ternary_not(a), V.ternary_not(b)
+        )
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_commutativity(self, a, b):
+        assert V.ternary_and(a, b) == V.ternary_and(b, a)
+        assert V.ternary_or(a, b) == V.ternary_or(b, a)
+        assert V.ternary_xor(a, b) == V.ternary_xor(b, a)
+
+    def test_coerce_rejects_non_boolean(self):
+        with pytest.raises(V.CypherTypeError):
+            V.coerce_to_boolean(1)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence and orderability
+# ---------------------------------------------------------------------------
+
+# A strategy over Cypher scalar values (no graph elements).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=8),
+)
+cypher_values = st.recursive(
+    scalars, lambda inner: st.lists(inner, max_size=4), max_leaves=10
+)
+
+
+class TestEquivalence:
+    def test_null_equivalent_null(self):
+        assert V.equivalent(None, None)
+
+    def test_nan_equivalent_nan(self):
+        assert V.equivalent(float("nan"), float("nan"))
+
+    def test_int_float_equivalence(self):
+        assert V.equivalent(1, 1.0)
+        assert not V.equivalent(1, 1.5)
+
+    def test_bool_not_equivalent_to_int(self):
+        assert not V.equivalent(True, 1)
+
+    @given(cypher_values)
+    def test_reflexive(self, value):
+        assert V.equivalent(value, value)
+
+    @given(cypher_values, cypher_values)
+    def test_consistent_with_ternary_equality(self, a, b):
+        # If Cypher says definitely-equal, equivalence must agree.
+        if V.ternary_equals(a, b) is True:
+            assert V.equivalent(a, b)
+
+    @given(cypher_values)
+    def test_key_hashable(self, value):
+        hash(V.equivalence_key(value))
+
+
+class TestOrderability:
+    def test_nulls_sort_last(self):
+        assert V.sort_values([None, 1, None, 2]) == [1, 2, None, None]
+
+    def test_type_rank_order(self):
+        ordered = V.sort_values(["s", True, 3, None, [1]])
+        assert ordered == [[1], "s", True, 3, None]
+
+    def test_descending_reverses(self):
+        values = [3, 1, None, 2]
+        descending = V.sort_values(values, descending=True)
+        assert descending == [None, 3, 2, 1]
+
+    def test_nan_after_numbers(self):
+        nan = float("nan")
+        ordered = V.sort_values([nan, 1.0, 2.0, None])
+        assert ordered[0:2] == [1.0, 2.0]
+        assert math.isnan(ordered[2])
+        assert ordered[3] is None
+
+    def test_list_ordering_elementwise(self):
+        assert V.sort_values([[2], [1, 5], [1]]) == [[1], [1, 5], [2]]
+
+    @given(st.lists(cypher_values, max_size=10))
+    def test_sort_total_and_stable(self, values):
+        # Sorting must always succeed (total order) and be idempotent.
+        once = V.sort_values(values)
+        twice = V.sort_values(once)
+        assert [V.equivalence_key(v) for v in once] == [
+            V.equivalence_key(v) for v in twice
+        ]
+
+    @given(cypher_values, cypher_values)
+    def test_order_antisymmetry(self, a, b):
+        ka, kb = V.order_key(a), V.order_key(b)
+        assert not (ka < kb and kb < ka)
+
+
+class TestTypeName:
+    def test_names(self):
+        assert V.type_name(None) == "NULL"
+        assert V.type_name(True) == "BOOLEAN"
+        assert V.type_name(1) == "INTEGER"
+        assert V.type_name(1.5) == "FLOAT"
+        assert V.type_name("x") == "STRING"
+        assert V.type_name([]) == "LIST"
+        assert V.type_name({}) == "MAP"
+        assert V.type_name(Node(0)) == "NODE"
+        assert V.type_name(Relationship(0, "T", 0, 0)) == "RELATIONSHIP"

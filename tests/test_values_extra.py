@@ -1,0 +1,101 @@
+"""Additional property tests for the value model and binding layer."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.binding import ResultSet
+from repro.graph import values as V
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=6),
+)
+nested = st.recursive(scalars, lambda inner: st.lists(inner, max_size=3),
+                      max_leaves=8)
+
+
+class TestEqualityLaws:
+    @given(nested, nested)
+    def test_symmetry(self, a, b):
+        assert V.ternary_equals(a, b) == V.ternary_equals(b, a)
+
+    @given(nested, nested)
+    def test_inequality_is_negation(self, a, b):
+        eq = V.ternary_equals(a, b)
+        neq = V.ternary_not(eq)
+        # `a <> b` is defined as NOT (a = b); verify the Kleene composition.
+        if eq is None:
+            assert neq is None
+        else:
+            assert neq == (not eq)
+
+    @given(nested, nested)
+    def test_compare_antisymmetric(self, a, b):
+        forward = V.ternary_compare(a, b)
+        backward = V.ternary_compare(b, a)
+        if forward is None:
+            assert backward is None
+        else:
+            assert backward == -forward
+
+
+class TestOrderConsistency:
+    @given(nested, nested)
+    def test_order_refines_comparability(self, a, b):
+        """When Cypher says a < b, the global sort order must agree."""
+        verdict = V.ternary_compare(a, b)
+        if verdict is None:
+            return
+        ka, kb = V.order_key(a), V.order_key(b)
+        if verdict < 0:
+            assert ka < kb
+        elif verdict > 0:
+            assert kb < ka
+
+    @given(st.lists(nested, max_size=8))
+    def test_sorting_never_fails(self, values):
+        V.sort_values(values)
+        V.sort_values(values, descending=True)
+
+    @given(st.lists(nested, max_size=8))
+    def test_descending_is_reverse_of_ascending(self, values):
+        ascending = V.sort_values(values)
+        descending = V.sort_values(values, descending=True)
+        assert [V.equivalence_key(v) for v in descending] == [
+            V.equivalence_key(v) for v in reversed(ascending)
+        ]
+
+
+class TestResultSetBagLaws:
+    @given(st.lists(st.tuples(nested), max_size=6))
+    def test_same_rows_reflexive(self, rows):
+        rs = ResultSet(["x"], rows)
+        assert rs.same_rows(ResultSet(["x"], list(rows)))
+
+    @given(st.lists(st.tuples(nested), max_size=6),
+           st.lists(st.tuples(nested), max_size=6))
+    def test_same_rows_symmetric(self, rows_a, rows_b):
+        a = ResultSet(["x"], rows_a)
+        b = ResultSet(["x"], rows_b)
+        assert a.same_rows(b) == b.same_rows(a)
+
+    @given(st.lists(st.tuples(nested), max_size=6),
+           st.lists(st.tuples(nested), max_size=4))
+    def test_sub_bag_of_union(self, rows_a, rows_b):
+        a = ResultSet(["x"], rows_a)
+        b = ResultSet(["x"], rows_b)
+        union = ResultSet.union_all([a, b])
+        assert a.is_sub_bag_of(union)
+        assert b.is_sub_bag_of(union)
+
+    @given(st.lists(st.tuples(nested), max_size=6))
+    def test_sub_bag_antisymmetry_gives_equality(self, rows):
+        a = ResultSet(["x"], rows)
+        b = ResultSet(["x"], list(reversed(rows)))
+        assert a.is_sub_bag_of(b) and b.is_sub_bag_of(a)
+        assert a.same_rows(b)

@@ -1,0 +1,152 @@
+"""Tests for the write clauses used by the graph initializer (§2.2, §4)."""
+
+import pytest
+
+from repro.cypher.parser import parse_query
+from repro.engine.errors import CypherSyntaxError, CypherTypeError
+from repro.engine.executor import Executor
+from repro.graph.model import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    return PropertyGraph()
+
+
+def run(graph, text):
+    return Executor(graph).execute(parse_query(text))
+
+
+class TestCreate:
+    def test_create_node(self, graph):
+        run(graph, "CREATE (n:USER {name: 'Alice', id: 0})")
+        assert graph.node_count == 1
+        node = graph.node(0)
+        assert node.labels == frozenset({"USER"})
+        assert node.properties == {"name": "Alice", "id": 0}
+
+    def test_create_path(self, graph):
+        run(graph, "CREATE (a:X)-[r:T {w: 1}]->(b:Y)")
+        assert graph.node_count == 2
+        assert graph.relationship_count == 1
+        rel = next(graph.relationships())
+        assert rel.type == "T"
+        assert rel.properties == {"w": 1}
+
+    def test_create_reversed_direction(self, graph):
+        run(graph, "CREATE (a:X)<-[r:T]-(b:Y)")
+        rel = next(graph.relationships())
+        assert graph.node(rel.start).labels == frozenset({"Y"})
+
+    def test_create_reuses_bound_variables(self, graph):
+        run(graph, "CREATE (a:X) CREATE (a)-[r:T]->(b:Y)")
+        assert graph.node_count == 2
+        assert graph.relationship_count == 1
+
+    def test_create_per_input_row(self, graph):
+        run(graph, "UNWIND [1, 2, 3] AS x CREATE (n:ROW {v: x})")
+        assert graph.node_count == 3
+        assert sorted(n.properties["v"] for n in graph.nodes()) == [1, 2, 3]
+
+    def test_create_undirected_rejected(self, graph):
+        with pytest.raises(CypherSyntaxError):
+            run(graph, "CREATE (a)-[r:T]-(b)")
+
+    def test_create_untyped_rel_rejected(self, graph):
+        with pytest.raises(CypherSyntaxError):
+            run(graph, "CREATE (a)-[r]->(b)")
+
+    def test_create_then_return(self, graph):
+        result = run(graph, "CREATE (n:X {v: 7}) RETURN n.v AS v")
+        assert result.rows == [(7,)]
+
+
+class TestSet:
+    def test_set_property(self, graph):
+        run(graph, "CREATE (n:X {id: 0})")
+        run(graph, "MATCH (n:X) SET n.v = 42")
+        assert graph.node(0).properties["v"] == 42
+
+    def test_set_null_removes(self, graph):
+        run(graph, "CREATE (n:X {id: 0, v: 1})")
+        run(graph, "MATCH (n:X) SET n.v = null")
+        assert "v" not in graph.node(0).properties
+
+    def test_set_computed_value(self, graph):
+        run(graph, "CREATE (n:X {v: 2})")
+        run(graph, "MATCH (n:X) SET n.v = n.v * 10")
+        assert graph.node(0).properties["v"] == 20
+
+    def test_set_on_non_element_raises(self, graph):
+        with pytest.raises(CypherTypeError):
+            run(graph, "UNWIND [1] AS x SET x.v = 1")
+
+
+class TestDelete:
+    def test_delete_relationship(self, graph):
+        run(graph, "CREATE (a:X)-[r:T]->(b:Y)")
+        run(graph, "MATCH (a)-[r]->(b) DELETE r")
+        assert graph.relationship_count == 0
+        assert graph.node_count == 2
+
+    def test_delete_connected_node_fails(self, graph):
+        run(graph, "CREATE (a:X)-[r:T]->(b:Y)")
+        with pytest.raises(ValueError):
+            run(graph, "MATCH (n:X) DELETE n")
+
+    def test_detach_delete(self, graph):
+        run(graph, "CREATE (a:X)-[r:T]->(b:Y)")
+        run(graph, "MATCH (n:X) DETACH DELETE n")
+        assert graph.node_count == 1
+        assert graph.relationship_count == 0
+
+    def test_delete_null_is_noop(self, graph):
+        run(graph, "CREATE (a:X)")
+        run(graph, "MATCH (a:X) OPTIONAL MATCH (a)-[r]->() DELETE r")
+        assert graph.node_count == 1
+
+
+class TestRemove:
+    def test_remove_property(self, graph):
+        run(graph, "CREATE (n:X {v: 1})")
+        run(graph, "MATCH (n:X) REMOVE n.v")
+        assert graph.node(0).properties == {}
+
+    def test_remove_label(self, graph):
+        run(graph, "CREATE (n:X:Y)")
+        run(graph, "MATCH (n:X) REMOVE n:Y")
+        assert graph.node(0).labels == frozenset({"X"})
+
+
+class TestMerge:
+    def test_merge_creates_when_absent(self, graph):
+        run(graph, "MERGE (n:X {id: 1})")
+        assert graph.node_count == 1
+
+    def test_merge_matches_when_present(self, graph):
+        run(graph, "CREATE (n:X {id: 1})")
+        run(graph, "MERGE (m:X {id: 1})")
+        assert graph.node_count == 1
+
+    def test_merge_binds_variable(self, graph):
+        run(graph, "CREATE (n:X {id: 1, v: 9})")
+        result = run(graph, "MERGE (m:X {id: 1}) RETURN m.v AS v")
+        assert result.rows == [(9,)]
+
+
+class TestInitializerPipeline:
+    def test_full_graph_initialization(self, graph):
+        """The six write clauses cooperating, as the graph initializer uses
+        them (§4)."""
+        run(graph, "CREATE (a:USER {id: 0, name: 'Alice'})")
+        run(graph, "CREATE (m:MOVIE {id: 1, name: 'Notebook'})")
+        run(graph, "MATCH (a:USER), (m:MOVIE) CREATE (a)-[r:LIKE {rating: 5}]->(m)")
+        run(graph, "MATCH (a:USER)-[r:LIKE]->(m) SET r.rating = 10")
+        run(graph, "MERGE (g:GENRE {id: 2, name: 'Drama'})")
+        run(graph, "MATCH (g:GENRE) REMOVE g:GENRE")
+        result = run(
+            graph,
+            "MATCH (a:USER)-[r:LIKE]->(m:MOVIE) "
+            "RETURN a.name AS a, r.rating AS rating, m.name AS m",
+        )
+        assert result.rows == [("Alice", 10, "Notebook")]
