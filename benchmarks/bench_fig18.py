@@ -1,5 +1,8 @@
 """Figure 18: cumulative bugs over the 24-hour-equivalent campaign.
 
+Reuses Table 6's kernel-run campaign grid (``day_campaigns`` fixture; set
+``REPRO_BENCH_JOBS`` to parallelize it).
+
 Shape targets (paper §5.4.4): GQS's curve dominates on both Neo4j and
 FalkorDB and keeps rising through the budget; the session-crash finds of
 GDBMeter/Gamera appear late in the FalkorDB run (the paper saw them after

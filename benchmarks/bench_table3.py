@@ -2,8 +2,10 @@
 
 The paper's campaign ran for months; here the fault gates are scaled down
 (``FULL_CAMPAIGN_GATE_SCALE``) so the same discovery process completes in a
-benchmark-sized run.  Shape targets: a 36-bug scope split 26 logic / 10
-other, with FalkorDB carrying the largest share.
+benchmark-sized run.  The per-engine campaigns run through the shared
+``repro.runtime`` kernel (set ``REPRO_BENCH_JOBS`` to fan them out over a
+process pool).  Shape targets: a 36-bug scope split 26 logic / 10 other,
+with FalkorDB carrying the largest share.
 """
 
 from conftest import run_once

@@ -1,7 +1,9 @@
 """Table 4: bugs missed by the existing testers, and their latencies.
 
 GQS's bug-triggering queries are replayed through each baseline's oracle;
-a bug counts as missed when the oracle raises no alarm.  Shape targets
+a bug counts as missed when the oracle raises no alarm.  The underlying
+campaigns run through the shared ``repro.runtime`` kernel (set
+``REPRO_BENCH_JOBS`` to parallelize them).  Shape targets
 (paper): every baseline misses a majority of the bugs, the FalkorDB
 (RedisGraph) column dominates, and missed-bug latencies run 2-4 years on
 average with a 5-year maximum.

@@ -10,7 +10,19 @@ pytest-benchmark.  Every benchmark prints its table/figure so that
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def bench_jobs() -> int:
+    """Worker processes for campaign grids (``REPRO_BENCH_JOBS``, default 1).
+
+    Campaign benchmarks fan their (tester × engine × seed) grids out through
+    :class:`repro.runtime.ParallelCampaignRunner`; results are identical for
+    any jobs value, so this only trades wall-clock for cores.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -25,7 +37,7 @@ def full_campaigns():
     them)."""
     from repro.experiments import run_full_gqs_campaigns
 
-    return run_full_gqs_campaigns(seed=0)
+    return run_full_gqs_campaigns(seed=0, jobs=bench_jobs())
 
 
 @pytest.fixture(scope="session")
@@ -33,5 +45,5 @@ def day_campaigns():
     """The 24-hour-equivalent campaigns shared by Table 6 and Figure 18."""
     from repro.experiments import table6
 
-    rows, campaigns = table6(seed=0)
+    rows, campaigns = table6(seed=0, jobs=bench_jobs())
     return rows, campaigns

@@ -7,26 +7,31 @@ profiles are tuned per tool so that the complexity comparison of Table 5
 (patterns / expression depth / clauses / dependencies) reproduces each
 tool's characteristic scale.
 
-The campaign loop mirrors how these tools actually run: a long-lived session
+The session shape mirrors how these tools actually run: a long-lived session
 on one database instance (no restart between graphs — which is why they can
 catch the accumulation crashes GQS misses, §5.4.4), periodically loading new
-random graphs.
+random graphs.  The campaign loop itself lives in
+:class:`repro.runtime.CampaignKernel`; this module contributes the
+baselines' side of the :class:`TesterProtocol` — the long-session policy,
+the profile-driven random query stream, and the per-tool oracle hook
+(:meth:`BaselineTester.check_query`).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Iterator, List, Optional, Tuple, Union
 
-from repro.core.runner import BugReport, CampaignResult
 from repro.cypher import ast
 from repro.cypher.printer import print_query
 from repro.engine.binding import ResultSet
 from repro.engine.errors import CypherError, DatabaseCrash, ResourceExhausted
 from repro.gdb.engines import GraphDatabase
-from repro.graph.generator import GeneratorConfig, GraphGenerator
-from repro.graph.model import Node, PropertyGraph
+from repro.graph.generator import GeneratorConfig
+from repro.graph.model import PropertyGraph
+from repro.runtime.protocol import Judgement, SessionPolicy, TesterProtocol
+from repro.runtime.results import BugReport, CampaignResult
 
 __all__ = [
     "GeneratorProfile",
@@ -340,8 +345,8 @@ def run_and_observe(engine: GraphDatabase, query: AnyQuery):
     return result, exc, engine.last_fired_fault
 
 
-class BaselineTester:
-    """Common campaign loop for the metamorphic/differential baselines.
+class BaselineTester(TesterProtocol):
+    """Common :class:`TesterProtocol` for the metamorphic/differential tools.
 
     Subclasses provide ``profile`` and :meth:`check_query`, which runs the
     tool's oracle for a single generated query and returns a report (or
@@ -353,53 +358,30 @@ class BaselineTester:
     name = "baseline"
     profile = GeneratorProfile(name="baseline")
     queries_per_graph = 20
+    # Continuous session: only the very first load restarts (§5.4.4).
+    session = SessionPolicy(restart_per_graph=False)
 
     def __init__(self, generator_config: Optional[GeneratorConfig] = None):
         self.generator_config = generator_config or GeneratorConfig()
 
-    # -- campaign -----------------------------------------------------------
+    # -- TesterProtocol ------------------------------------------------------
 
-    def run(
+    def proposals(
+        self, engine: GraphDatabase, graph, schema, rng: random.Random
+    ) -> Iterator[AnyQuery]:
+        qgen = RandomQueryGenerator(graph, rng, self.profile)
+        for _ in range(self.queries_per_graph):
+            yield qgen.generate()
+
+    def judge(
         self,
         engine: GraphDatabase,
-        budget_seconds: float,
-        seed: int = 0,
-        max_queries: Optional[int] = None,
-    ) -> CampaignResult:
-        rng = random.Random(seed)
-        result = CampaignResult(self.name, engine.name)
-        seen: set = set()
-        first_load = True
-
-        while result.sim_seconds < budget_seconds:
-            if max_queries is not None and result.queries_run >= max_queries:
-                break
-            generator = GraphGenerator(
-                seed=rng.randrange(2**32), config=self.generator_config
-            )
-            schema, graph = generator.generate_with_schema()
-            # Continuous session: only the very first load restarts (§5.4.4).
-            engine.load_graph(graph, schema, restart=first_load)
-            first_load = False
-            qgen = RandomQueryGenerator(graph, rng, self.profile)
-
-            for _ in range(self.queries_per_graph):
-                if result.sim_seconds >= budget_seconds:
-                    break
-                if max_queries is not None and result.queries_run >= max_queries:
-                    break
-                query = qgen.generate()
-                report = self.check_query(engine, query, rng, result)
-                result.queries_run += 1
-                if report is not None:
-                    result.reports.append(report)
-                    if report.fault_id and report.fault_id not in seen:
-                        seen.add(report.fault_id)
-                        result.timeline.append((report.sim_time, report.fault_id))
-                if engine.crashed:
-                    engine.restart()
-                    engine.load_graph(graph, schema, restart=True)
-        return result
+        query: AnyQuery,
+        graph,
+        rng: random.Random,
+        result: CampaignResult,
+    ) -> Judgement:
+        return Judgement(report=self.check_query(engine, query, rng, result))
 
     # -- per-query oracle (subclass responsibility) -------------------------
 

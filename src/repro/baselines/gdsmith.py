@@ -17,20 +17,18 @@ the paper quantifies (§5.4.3) are modeled faithfully:
 
 from __future__ import annotations
 
-import random
 from typing import Optional, Sequence, Union
 
 from repro.baselines.common import (
     BaselineTester,
     GeneratorProfile,
-    RandomQueryGenerator,
     run_and_observe,
 )
-from repro.core.runner import BugReport, CampaignResult
 from repro.cypher import ast
 from repro.cypher.printer import print_query
 from repro.gdb.engines import GraphDatabase
-from repro.graph.generator import GraphGenerator
+from repro.runtime.protocol import Judgement
+from repro.runtime.results import BugReport, CampaignResult
 
 __all__ = ["GDsmithTester"]
 
@@ -64,52 +62,31 @@ class GDsmithTester(BaselineTester):
         super().__init__(**kwargs)
         self.comparison_engines = list(comparison_engines)
 
-    # -- campaign: keep all engines loaded with the same graph ------------
+    # -- multi-engine session: all engines hold the same graph ------------
 
-    def run(
-        self,
-        engine: GraphDatabase,
-        budget_seconds: float,
-        seed: int = 0,
-        max_queries: Optional[int] = None,
-    ) -> CampaignResult:
-        rng = random.Random(seed)
-        result = CampaignResult(self.name, engine.name)
-        seen: set = set()
-        engines = [engine] + [
+    def _session_engines(self, engine: GraphDatabase) -> list:
+        return [engine] + [
             other for other in self.comparison_engines if other is not engine
         ]
-        first_load = True
 
-        while result.sim_seconds < budget_seconds:
-            if max_queries is not None and result.queries_run >= max_queries:
-                break
-            generator = GraphGenerator(seed=rng.randrange(2**32),
-                                       config=self.generator_config)
-            schema, graph = generator.generate_with_schema()
-            for gdb in engines:
-                gdb.load_graph(graph, schema, restart=first_load)
-            first_load = False
-            qgen = RandomQueryGenerator(graph, rng, self.profile)
+    def load_graph(self, engine, graph, schema, restart) -> None:
+        for gdb in self._session_engines(engine):
+            gdb.load_graph(graph, schema, restart=restart)
 
-            for _ in range(self.queries_per_graph):
-                if result.sim_seconds >= budget_seconds:
-                    break
-                if max_queries is not None and result.queries_run >= max_queries:
-                    break
-                query = qgen.generate()
-                report = self._check_differential(engines, query, result)
-                result.queries_run += 1
-                if report is not None:
-                    result.reports.append(report)
-                    if report.fault_id and report.fault_id not in seen:
-                        seen.add(report.fault_id)
-                        result.timeline.append((report.sim_time, report.fault_id))
-                for gdb in engines:
-                    if gdb.crashed:
-                        gdb.restart()
-                        gdb.load_graph(graph, schema, restart=True)
-        return result
+    def judge(self, engine, query, graph, rng, result):
+        report = self._check_differential(
+            self._session_engines(engine), query, result
+        )
+        return Judgement(report=report)
+
+    def recover(self, engine, graph, schema) -> bool:
+        restarted = False
+        for gdb in self._session_engines(engine):
+            if gdb.crashed:
+                gdb.restart()
+                gdb.load_graph(graph, schema, restart=True)
+                restarted = True
+        return restarted
 
     # -- differential oracle --------------------------------------------------
 

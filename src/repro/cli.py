@@ -3,11 +3,16 @@
 Usage (also available as ``python -m repro``):
 
     repro campaign --engine falkordb --minutes 5 [--tester GQS] [--out r.json]
-    repro compare  --engine falkordb --minutes 2
-    repro table    2|3|5|6
+                   [--seeds K --jobs N] [--events LOG] [--resume LOG]
+    repro compare  --engine falkordb --minutes 2 [--jobs N] [--resume LOG]
+    repro table    2|3|4|5|6
     repro figure   10|11|12|13|14|15|18
     repro synthesize --seed 7 [--engine neo4j]
     repro calibrate [--n 200]
+
+Campaign grids fan out over a process pool (``--jobs``) and checkpoint every
+completed (tester, engine, seed) cell to a JSONL event log, so an
+interrupted run restarts from where it left off (``--resume``).
 """
 
 from __future__ import annotations
@@ -40,20 +45,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="<1 compresses fault latency")
     campaign.add_argument("--out", default=None,
                           help="write the campaign result as JSON")
+    campaign.add_argument("--seeds", type=int, default=1,
+                          help="replicate the campaign over K derived seeds")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the seed replicates")
+    campaign.add_argument("--events", default=None,
+                          help="append the JSONL event stream to this path")
+    campaign.add_argument("--resume", default=None,
+                          help="resume completed cells from this event log")
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
     compare.add_argument("--engine", default="falkordb",
                          choices=["neo4j", "memgraph", "kuzu", "falkordb"])
     compare.add_argument("--minutes", type=float, default=2.0)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the tester grid")
+    compare.add_argument("--events", default=None,
+                         help="append the JSONL event stream to this path")
+    compare.add_argument("--resume", default=None,
+                         help="resume completed cells from this event log")
 
     table = sub.add_parser("table", help="regenerate a table from the paper")
-    table.add_argument("id", type=int, choices=[2, 3, 5, 6])
+    table.add_argument("id", type=int, choices=[2, 3, 4, 5, 6])
     table.add_argument("--seed", type=int, default=0)
+    table.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (tables 3, 4 and 6)")
 
     figure = sub.add_parser("figure", help="regenerate a figure from the paper")
     figure.add_argument("id", type=int, choices=[10, 11, 12, 13, 14, 15, 18])
     figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the underlying campaigns")
 
     synthesize = sub.add_parser(
         "synthesize", help="synthesize one query and show its ground truth"
@@ -72,47 +95,81 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_campaign(args) -> int:
-    from repro.experiments import make_tester, tester_supports
-    from repro.experiments.campaign import split_fault_counts
-    from repro.gdb import create_engine
+    from repro.experiments import run_campaign_grid, tester_supports
+    from repro.experiments.campaign import run_tool_campaign, split_fault_counts
 
     if not tester_supports(args.tester, args.engine):
         print(f"{args.tester} does not support {args.engine}", file=sys.stderr)
         return 2
-    engine = create_engine(args.engine, gate_scale=args.gate_scale)
-    tester = make_tester(args.tester, args.engine, gate_scale=args.gate_scale)
-    result = tester.run(engine, budget_seconds=args.minutes * 60.0, seed=args.seed)
-    logic, other = split_fault_counts(result.detected_faults)
-    print(
-        f"{args.tester} on {args.engine}: {result.queries_run} queries, "
-        f"{logic + other} distinct bugs ({logic} logic), "
-        f"{result.false_positive_count} false positives"
-    )
-    for fault_id in result.detected_faults:
-        print(f"  - {fault_id}")
+    budget_seconds = args.minutes * 60.0
+
+    if args.seeds <= 1 and not args.resume:
+        events = None
+        if args.events:
+            from repro.runtime import EventLog
+
+            events = EventLog(args.events)
+        result = run_tool_campaign(
+            args.tester, args.engine, budget_seconds=budget_seconds,
+            seed=args.seed, gate_scale=args.gate_scale, events=events,
+        )
+        if events is not None:
+            events.close()
+        results = {(args.tester, args.engine, args.seed): result}
+    else:
+        # Replicate fan-out: K derived seeds over N workers, resumable.
+        results = run_campaign_grid(
+            (args.tester,), (args.engine,),
+            seeds=range(args.seed, args.seed + args.seeds),
+            budget_seconds=budget_seconds, gate_scale=args.gate_scale,
+            derive_seeds=args.seeds > 1, jobs=args.jobs,
+            events_path=args.events or args.resume, resume_path=args.resume,
+        )
+
+    all_faults: List[str] = []
+    for (_tester, _engine, seed), result in results.items():
+        logic, other = split_fault_counts(result.detected_faults)
+        print(
+            f"{args.tester} on {args.engine} (seed {seed}): "
+            f"{result.queries_run} queries, "
+            f"{logic + other} distinct bugs ({logic} logic), "
+            f"{result.false_positive_count} false positives"
+        )
+        for fault_id in result.detected_faults:
+            print(f"  - {fault_id}")
+            if fault_id not in all_faults:
+                all_faults.append(fault_id)
+    if len(results) > 1:
+        logic, other = split_fault_counts(all_faults)
+        print(f"union over {len(results)} seeds: "
+              f"{logic + other} distinct bugs ({logic} logic)")
     if args.out:
         from repro.core.reporting import save_campaign
 
-        save_campaign(result, args.out)
+        merged = None
+        for result in results.values():
+            merged = result if merged is None else merged.merge(result)
+        save_campaign(merged, args.out)
         print(f"campaign written to {args.out}")
     return 0
 
 
 def _cmd_compare(args) -> int:
-    from repro.experiments import make_tester, tester_supports
+    from repro.experiments import run_campaign_grid
     from repro.experiments.campaign import TESTER_NAMES, split_fault_counts
-    from repro.gdb import create_engine
 
+    grid = run_campaign_grid(
+        TESTER_NAMES, (args.engine,), seeds=(args.seed,),
+        budget_seconds=args.minutes * 60.0, jobs=args.jobs,
+        events_path=args.events or args.resume, resume_path=args.resume,
+    )
+    by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
     print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} {'FPs':>5s}")
     for tool in TESTER_NAMES:
-        if not tester_supports(tool, args.engine):
+        result = by_tool.get(tool)
+        if result is None:
             print(f"{tool:>9s} {'-':>8s}")
             continue
-        engine = create_engine(args.engine)
-        tester = make_tester(tool, args.engine)
-        result = tester.run(
-            engine, budget_seconds=args.minutes * 60.0, seed=args.seed
-        )
         logic, other = split_fault_counts(result.detected_faults)
         print(
             f"{tool:>9s} {result.queries_run:8d} {logic + other:5d} "
@@ -127,12 +184,23 @@ def _cmd_table(args) -> int:
     if args.id == 2:
         print(E.render_table(E.table2(), "Table 2"))
     elif args.id == 3:
-        campaigns = E.run_full_gqs_campaigns(seed=args.seed)
+        campaigns = E.run_full_gqs_campaigns(seed=args.seed, jobs=args.jobs)
         print(E.render_table(E.table3(campaigns), "Table 3"))
+    elif args.id == 4:
+        campaigns = E.run_full_gqs_campaigns(seed=args.seed, jobs=args.jobs)
+        data = E.table4(campaigns)
+        print(E.render_table(data["missed"], "Table 4"))
+        latency_rows = [
+            {"GDB": engine,
+             "avg latency (yrs)": round(values["avg"], 1),
+             "max latency (yrs)": round(values["max"], 1)}
+            for engine, values in data["latency"].items()
+        ]
+        print(E.render_table(latency_rows, "Table 4 — missed-bug latency"))
     elif args.id == 5:
         print(E.render_table(E.table5(n_queries=250, seed=args.seed), "Table 5"))
     elif args.id == 6:
-        rows, _campaigns = E.table6(seed=args.seed)
+        rows, _campaigns = E.table6(seed=args.seed, jobs=args.jobs)
         print(E.render_table(rows, "Table 6"))
     return 0
 
@@ -141,12 +209,12 @@ def _cmd_figure(args) -> int:
     from repro import experiments as E
 
     if args.id == 18:
-        _rows, campaigns = E.table6(seed=args.seed)
+        _rows, campaigns = E.table6(seed=args.seed, jobs=args.jobs)
         for engine, series in E.figure18(campaigns).items():
             print(E.render_series(series, f"Figure 18 — {engine}"))
         return 0
 
-    campaigns = E.run_full_gqs_campaigns(seed=args.seed)
+    campaigns = E.run_full_gqs_campaigns(seed=args.seed, jobs=args.jobs)
     records = E.collect_trigger_records(campaigns)
     if args.id == 10:
         for engine, counts in E.figure10(records).items():

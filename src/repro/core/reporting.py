@@ -1,17 +1,23 @@
-"""Campaign persistence: serialize bug reports and campaign results.
+"""Campaign persistence: bug reports, campaign results, event streams.
 
 The paper's artifact ships its bug reports (query, expected result, actual
 result, affected engine) as the unit of communication with developers; this
 module provides the same artifact as JSON, plus round-tripping so stored
 campaigns can be re-analyzed (e.g. re-rendering the §5.3 figures without
 re-running the campaign).
+
+It also owns the JSONL serialization of the :mod:`repro.runtime` event
+stream.  A grid run appends one ``cell_complete`` event (embedding the full
+campaign via :func:`campaign_to_dict`) per finished (tester, engine, seed)
+cell; :func:`completed_cells_from_events` recovers those checkpoints so an
+interrupted grid resumes from the last completed cell.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, Iterable, List, Tuple, Union
 
 from repro.core.runner import BugReport, CampaignResult
 
@@ -22,6 +28,10 @@ __all__ = [
     "campaign_from_dict",
     "save_campaign",
     "load_campaign",
+    "event_to_json_line",
+    "save_event_stream",
+    "load_event_stream",
+    "completed_cells_from_events",
 ]
 
 
@@ -85,3 +95,59 @@ def save_campaign(result: CampaignResult, path: Union[str, Path]) -> None:
 def load_campaign(path: Union[str, Path]) -> CampaignResult:
     """Read a campaign previously written by :func:`save_campaign`."""
     return campaign_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Event streams (the repro.runtime JSONL checkpoint format)
+# ---------------------------------------------------------------------------
+
+
+def event_to_json_line(event: Dict[str, Any]) -> str:
+    """One event as a single compact JSON line (no newline appended)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def save_event_stream(
+    events: Iterable[Dict[str, Any]], path: Union[str, Path], append: bool = False
+) -> None:
+    """Write *events* to *path* as JSONL."""
+    mode = "a" if append else "w"
+    with Path(path).open(mode, encoding="utf-8") as handle:
+        for event in events:
+            handle.write(event_to_json_line(event) + "\n")
+
+
+def load_event_stream(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a JSONL event stream, skipping blank/truncated trailing lines.
+
+    Tolerating a torn final line matters: resumable logs are written by
+    runs that may be killed mid-write.
+    """
+    events: List[Dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return events
+
+
+def completed_cells_from_events(
+    events: Iterable[Dict[str, Any]],
+) -> Dict[Tuple[str, str, int], CampaignResult]:
+    """Recover checkpointed grid cells from an event stream.
+
+    Returns ``{(tester, engine, seed): CampaignResult}`` for every
+    ``cell_complete`` event (the last occurrence wins, so a log holding
+    several partial runs resumes from the freshest checkpoint).
+    """
+    done: Dict[Tuple[str, str, int], CampaignResult] = {}
+    for event in events:
+        if event.get("event") != "cell_complete":
+            continue
+        key = (event["tester"], event["engine"], event["seed"])
+        done[key] = campaign_from_dict(event["campaign"])
+    return done

@@ -1,4 +1,4 @@
-"""The GQS testing loop (paper §3.1 workflow, steps 1-4, iterated).
+"""The GQS tester (paper §3.1 workflow, steps 1-4, iterated).
 
 One iteration: generate a random graph, load it into the GDB under test
 (with a restart, for reproducibility), select an expected result set,
@@ -8,16 +8,18 @@ ground truth, select a new ground truth over the same graph, or start over
 with a fresh graph — exactly the three continuation choices the paper
 describes.
 
-Campaigns run against a simulated wall clock driven by the engines' cost
-model, which is how the 24-hour experiments (§5.4.4) are reproduced without
-24 real hours.
+The campaign loop itself lives in :class:`repro.runtime.CampaignKernel`;
+this module contributes GQS's side of the :class:`TesterProtocol`: the
+restart-per-graph session policy, the ground-truth-driven proposal stream,
+and the zero-false-positive oracle judgement.  ``BugReport`` and
+``CampaignResult`` are re-exported from :mod:`repro.runtime.results` for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Optional
 
 from repro.core.ground_truth import select_ground_truth
 from repro.core.oracle import check_result
@@ -26,62 +28,11 @@ from repro.cypher.analysis import analyze, clause_types_in
 from repro.cypher.printer import print_query
 from repro.engine.errors import CypherError, DatabaseCrash, ResourceExhausted
 from repro.gdb.engines import GraphDatabase
-from repro.graph.generator import GeneratorConfig, GraphGenerator
+from repro.graph.generator import GeneratorConfig
+from repro.runtime.protocol import Judgement, SessionPolicy, TesterProtocol
+from repro.runtime.results import BugReport, CampaignResult
 
 __all__ = ["BugReport", "CampaignResult", "GQSTester", "synthesizer_config_for"]
-
-
-@dataclass
-class BugReport:
-    """One reported discrepancy (or crash/hang/exception)."""
-
-    tester: str
-    engine: str
-    kind: str                  # "logic" | "error"
-    detail: str
-    query_text: str
-    fault_id: Optional[str]    # white-box accounting; None => false positive
-    sim_time: float
-    n_steps: int = 0
-
-    @property
-    def is_false_positive(self) -> bool:
-        return self.fault_id is None
-
-
-@dataclass
-class CampaignResult:
-    """Aggregated outcome of one testing campaign."""
-
-    tester: str
-    engine: str
-    queries_run: int = 0
-    sim_seconds: float = 0.0
-    reports: List[BugReport] = field(default_factory=list)
-    timeline: List[Tuple[float, str]] = field(default_factory=list)
-    # Per bug-triggering query metadata, for the §5.3 analyses.
-    trigger_records: List[Dict[str, Any]] = field(default_factory=list)
-
-    @property
-    def detected_faults(self) -> List[str]:
-        seen: List[str] = []
-        for report in self.reports:
-            if report.fault_id and report.fault_id not in seen:
-                seen.append(report.fault_id)
-        return seen
-
-    @property
-    def false_positive_count(self) -> int:
-        return sum(1 for report in self.reports if report.is_false_positive)
-
-    def merge(self, other: "CampaignResult") -> "CampaignResult":
-        merged = CampaignResult(self.tester, f"{self.engine}+{other.engine}")
-        merged.queries_run = self.queries_run + other.queries_run
-        merged.sim_seconds = max(self.sim_seconds, other.sim_seconds)
-        merged.reports = self.reports + other.reports
-        merged.timeline = sorted(self.timeline + other.timeline)
-        merged.trigger_records = self.trigger_records + other.trigger_records
-        return merged
 
 
 def synthesizer_config_for(engine: GraphDatabase, **overrides) -> SynthesizerConfig:
@@ -95,10 +46,13 @@ def synthesizer_config_for(engine: GraphDatabase, **overrides) -> SynthesizerCon
     return config
 
 
-class GQSTester:
+class GQSTester(TesterProtocol):
     """The GQS approach packaged as a campaign-running tester."""
 
     name = "GQS"
+    # Restart per graph: reproducible instances, at the cost of never
+    # reaching the long-session accumulation crashes (§5.4.4).
+    session = SessionPolicy(restart_per_graph=True)
 
     def __init__(
         self,
@@ -111,54 +65,39 @@ class GQSTester:
         self.synthesizer_overrides = synthesizer_overrides or {}
         self.queries_per_ground_truth = queries_per_ground_truth
         self.ground_truths_per_graph = ground_truths_per_graph
+        self._synthesizer_config: Optional[SynthesizerConfig] = None
 
-    def run(
+    # -- TesterProtocol ---------------------------------------------------
+
+    def campaign_begin(self, engine: GraphDatabase, rng: random.Random) -> None:
+        self._synthesizer_config = synthesizer_config_for(
+            engine, **self.synthesizer_overrides
+        )
+
+    def proposals(
+        self, engine: GraphDatabase, graph, schema, rng: random.Random
+    ) -> Iterator[Any]:
+        """Step 2 + 3: ground truths over this graph, then queries for each."""
+        synthesizer = QuerySynthesizer(
+            graph, rng=rng, config=self._synthesizer_config
+        )
+        for _gt in range(rng.randint(1, self.ground_truths_per_graph)):
+            ground_truth = select_ground_truth(
+                graph, rng, synthesizer.config.max_ground_truth
+            )
+            for _q in range(rng.randint(1, self.queries_per_ground_truth)):
+                yield synthesizer.synthesize(ground_truth)
+
+    def judge(
         self,
         engine: GraphDatabase,
-        budget_seconds: float,
-        seed: int = 0,
-        max_queries: Optional[int] = None,
-    ) -> CampaignResult:
-        """Run a (simulated-time-budgeted) GQS campaign against *engine*."""
-        rng = random.Random(seed)
-        result = CampaignResult(self.name, engine.name)
-        config = synthesizer_config_for(engine, **self.synthesizer_overrides)
-        seen_faults: set = set()
-
-        while result.sim_seconds < budget_seconds:
-            if max_queries is not None and result.queries_run >= max_queries:
-                break
-            # Step 1: initialization — a fresh random graph, engine restart.
-            generator = GraphGenerator(
-                seed=rng.randrange(2**32), config=self.generator_config
-            )
-            schema, graph = generator.generate_with_schema()
-            engine.load_graph(graph, schema, restart=True)
-            synthesizer = QuerySynthesizer(graph, rng=rng, config=config)
-
-            for _gt in range(rng.randint(1, self.ground_truths_per_graph)):
-                # Step 2: establish the ground truth.
-                ground_truth = select_ground_truth(
-                    graph, rng, synthesizer.config.max_ground_truth
-                )
-                for _q in range(rng.randint(1, self.queries_per_ground_truth)):
-                    if result.sim_seconds >= budget_seconds:
-                        break
-                    if max_queries is not None and result.queries_run >= max_queries:
-                        break
-                    # Step 3: synthesize a query for this ground truth.
-                    synthesis = synthesizer.synthesize(ground_truth)
-                    self._run_one(engine, synthesis, result, seen_faults, graph)
-                    if engine.crashed:
-                        engine.restart()
-                        engine.load_graph(graph, schema, restart=True)
-        return result
-
-    # -- single test execution -------------------------------------------
-
-    def _run_one(self, engine, synthesis, result, seen_faults, graph=None) -> None:
+        synthesis,
+        graph,
+        rng: random.Random,
+        result: CampaignResult,
+    ) -> Judgement:
+        """Step 4: execute and validate against the established ground truth."""
         query_text = print_query(synthesis.query)
-        result.queries_run += 1
         result.sim_seconds += engine.cost_of(synthesis.query)
 
         report: Optional[BugReport] = None
@@ -179,7 +118,6 @@ class GQSTester:
                 n_steps=synthesis.n_steps,
             )
         else:
-            # Step 4: validate against the ground truth.
             verdict = check_result(synthesis.expected, actual)
             if not verdict.passed:
                 fault = engine.last_fired_fault
@@ -195,30 +133,28 @@ class GQSTester:
                 )
 
         if report is None:
-            return
-        result.reports.append(report)
-        if report.fault_id and report.fault_id not in seen_faults:
-            seen_faults.add(report.fault_id)
-            result.timeline.append((report.sim_time, report.fault_id))
+            return Judgement()
+
+        def make_trigger_record() -> Dict[str, Any]:
             metrics = analyze(synthesis.query)
-            result.trigger_records.append(
-                {
-                    "fault_id": report.fault_id,
-                    "engine": engine.name,
-                    "query_text": query_text,
-                    "n_steps": synthesis.n_steps,
-                    "patterns": metrics.patterns,
-                    "depth": metrics.expression_depth,
-                    "clauses": metrics.clauses,
-                    "dependencies": metrics.dependencies,
-                    "clause_names": clause_types_in(synthesis.query),
-                    "kind": report.kind,
-                    # §5.1: the paper observes all bugs trigger on small
-                    # graphs and small expected result sets.
-                    "graph_nodes": graph.node_count if graph else None,
-                    "graph_relationships": (
-                        graph.relationship_count if graph else None
-                    ),
-                    "ground_truth_size": len(synthesis.ground_truth),
-                }
-            )
+            return {
+                "fault_id": report.fault_id,
+                "engine": engine.name,
+                "query_text": query_text,
+                "n_steps": synthesis.n_steps,
+                "patterns": metrics.patterns,
+                "depth": metrics.expression_depth,
+                "clauses": metrics.clauses,
+                "dependencies": metrics.dependencies,
+                "clause_names": clause_types_in(synthesis.query),
+                "kind": report.kind,
+                # §5.1: the paper observes all bugs trigger on small
+                # graphs and small expected result sets.
+                "graph_nodes": graph.node_count if graph else None,
+                "graph_relationships": (
+                    graph.relationship_count if graph else None
+                ),
+                "ground_truth_size": len(synthesis.ground_truth),
+            }
+
+        return Judgement(report=report, trigger_record=make_trigger_record)

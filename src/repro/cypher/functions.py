@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.model import Node, Path, Relationship
@@ -57,11 +58,11 @@ class FunctionDef:
     propagates_null: bool = True
     variadic: bool = False
 
-    @property
+    @cached_property
     def arity_min(self) -> int:
         return self.min_args if self.min_args is not None else len(self.arg_types)
 
-    @property
+    @cached_property
     def arity_max(self) -> Optional[int]:
         return None if self.variadic else len(self.arg_types)
 
@@ -556,14 +557,29 @@ AGGREGATES = frozenset(
 assert len(FUNCTIONS) == 61, f"expected 61 functions, have {len(FUNCTIONS)}"
 
 
+# Memoized case-insensitive views; query names come from a finite AST
+# vocabulary, so these caches stay small while skipping a str.lower() on
+# every evaluation of every function call.
+_LOOKUP_CACHE: Dict[str, Optional[FunctionDef]] = {}
+_AGGREGATE_CACHE: Dict[str, bool] = {}
+
+
 def lookup(name: str) -> Optional[FunctionDef]:
     """Case-insensitive function lookup."""
-    return FUNCTIONS.get(name.lower())
+    try:
+        return _LOOKUP_CACHE[name]
+    except KeyError:
+        fdef = _LOOKUP_CACHE[name] = FUNCTIONS.get(name.lower())
+        return fdef
 
 
 def is_aggregate(name: str) -> bool:
     """Whether *name* is an aggregation function."""
-    return name.lower() in AGGREGATES
+    try:
+        return _AGGREGATE_CACHE[name]
+    except KeyError:
+        verdict = _AGGREGATE_CACHE[name] = name.lower() in AGGREGATES
+        return verdict
 
 
 def call_function(name: str, args: Sequence[Any]) -> Any:

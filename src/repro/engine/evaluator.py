@@ -57,8 +57,18 @@ class Evaluator:
 
     def evaluate(self, expr: ast.Expression, row: Dict[str, Any]) -> Any:
         """Evaluate *expr* in the environment *row*; returns a Cypher value."""
-        value = self._eval(expr, row)
-        return self._resolve(value)
+        handler = _DISPATCH.get(expr.__class__)
+        if handler is not None:
+            value = handler(self, expr, row)
+        else:
+            value = self._eval_slow(expr, row)
+        if (
+            value.__class__ is tuple
+            and len(value) == 2
+            and value[0] == "__node_ref__"
+        ):
+            return self.graph.node(value[1])
+        return value
 
     def evaluate_predicate(self, expr: ast.Expression, row: Dict[str, Any]) -> Optional[bool]:
         """Evaluate *expr* as a WHERE predicate (boolean or null)."""
@@ -73,12 +83,18 @@ class Evaluator:
         return value
 
     def _eval(self, expr: ast.Expression, row: Dict[str, Any]) -> Any:
+        # Exact-type dispatch covers every concrete AST node; subclasses (if
+        # any appear) fall back to the isinstance chain below.
+        handler = _DISPATCH.get(expr.__class__)
+        if handler is not None:
+            return handler(self, expr, row)
+        return self._eval_slow(expr, row)
+
+    def _eval_slow(self, expr: ast.Expression, row: Dict[str, Any]) -> Any:
         if isinstance(expr, ast.Literal):
             return expr.value
         if isinstance(expr, ast.Variable):
-            if expr.name not in row:
-                raise CypherRuntimeError(f"variable `{expr.name}` not defined")
-            return row[expr.name]
+            return self._eval_variable(expr, row)
         if isinstance(expr, ast.PropertyAccess):
             return self._property(expr, row)
         if isinstance(expr, ast.Unary):
@@ -86,24 +102,15 @@ class Evaluator:
         if isinstance(expr, ast.Binary):
             return self._binary(expr, row)
         if isinstance(expr, ast.IsNull):
-            value = self.evaluate(expr.operand, row)
-            return (value is not None) if expr.negated else (value is None)
+            return self._eval_is_null(expr, row)
         if isinstance(expr, ast.FunctionCall):
-            if is_aggregate(expr.name):
-                raise CypherRuntimeError(
-                    f"aggregate {expr.name}() not allowed in this context"
-                )
-            args = [self.evaluate(arg, row) for arg in expr.args]
-            try:
-                return call_function(expr.name, args)
-            except FunctionError:
-                raise
+            return self._eval_function(expr, row)
         if isinstance(expr, ast.CountStar):
             raise CypherRuntimeError("count(*) not allowed in this context")
         if isinstance(expr, ast.ListLiteral):
-            return [self.evaluate(item, row) for item in expr.items]
+            return self._eval_list_literal(expr, row)
         if isinstance(expr, ast.MapLiteral):
-            return {key: self.evaluate(value, row) for key, value in expr.items}
+            return self._eval_map_literal(expr, row)
         if isinstance(expr, ast.ListComprehension):
             return self._comprehension(expr, row)
         if isinstance(expr, ast.ListIndex):
@@ -115,13 +122,50 @@ class Evaluator:
         if isinstance(expr, ast.PatternPredicate):
             return self._pattern_predicate(expr, row)
         if isinstance(expr, ast.LabelsPredicate):
-            subject = self.evaluate(expr.subject, row)
-            if subject is None:
-                return None
-            if not isinstance(subject, Node):
-                raise CypherTypeError("label predicate requires a node")
-            return all(label in subject.labels for label in expr.labels)
+            return self._eval_labels_predicate(expr, row)
         raise CypherRuntimeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_literal(self, expr: ast.Literal, row: Dict[str, Any]) -> Any:
+        return expr.value
+
+    def _eval_variable(self, expr: ast.Variable, row: Dict[str, Any]) -> Any:
+        if expr.name not in row:
+            raise CypherRuntimeError(f"variable `{expr.name}` not defined")
+        return row[expr.name]
+
+    def _eval_is_null(self, expr: ast.IsNull, row: Dict[str, Any]) -> Any:
+        value = self.evaluate(expr.operand, row)
+        return (value is not None) if expr.negated else (value is None)
+
+    def _eval_function(self, expr: ast.FunctionCall, row: Dict[str, Any]) -> Any:
+        if is_aggregate(expr.name):
+            raise CypherRuntimeError(
+                f"aggregate {expr.name}() not allowed in this context"
+            )
+        args = [self.evaluate(arg, row) for arg in expr.args]
+        try:
+            return call_function(expr.name, args)
+        except FunctionError:
+            raise
+
+    def _eval_count_star(self, expr: ast.CountStar, row: Dict[str, Any]) -> Any:
+        raise CypherRuntimeError("count(*) not allowed in this context")
+
+    def _eval_list_literal(self, expr: ast.ListLiteral, row: Dict[str, Any]) -> Any:
+        return [self.evaluate(item, row) for item in expr.items]
+
+    def _eval_map_literal(self, expr: ast.MapLiteral, row: Dict[str, Any]) -> Any:
+        return {key: self.evaluate(value, row) for key, value in expr.items}
+
+    def _eval_labels_predicate(
+        self, expr: ast.LabelsPredicate, row: Dict[str, Any]
+    ) -> Any:
+        subject = self.evaluate(expr.subject, row)
+        if subject is None:
+            return None
+        if not isinstance(subject, Node):
+            raise CypherTypeError("label predicate requires a node")
+        return all(label in subject.labels for label in expr.labels)
 
     def _pattern_predicate(self, expr: ast.PatternPredicate, row: Dict[str, Any]) -> bool:
         # Existential check: does at least one match extend the current row?
@@ -166,55 +210,66 @@ class Evaluator:
     def _binary(self, expr: ast.Binary, row: Dict[str, Any]) -> Any:
         op = expr.op
 
-        if op in ("AND", "OR", "XOR"):
+        connective = _CONNECTIVES.get(op)
+        if connective is not None:
             left = V.coerce_to_boolean(self.evaluate(expr.left, row))
             # Short circuiting is observable through errors, but Cypher
             # evaluates eagerly; keep eager to mirror the reference.
             right = V.coerce_to_boolean(self.evaluate(expr.right, row))
-            if op == "AND":
-                return V.ternary_and(left, right)
-            if op == "OR":
-                return V.ternary_or(left, right)
-            return V.ternary_xor(left, right)
+            return connective(left, right)
 
         left = self.evaluate(expr.left, row)
         right = self.evaluate(expr.right, row)
 
-        if op == "=":
-            return V.ternary_equals(left, right)
-        if op == "<>":
-            return V.ternary_not(V.ternary_equals(left, right))
-        if op in ("<", "<=", ">", ">="):
-            verdict = V.ternary_compare(left, right)
-            if verdict is None:
-                return None
-            if op == "<":
-                return verdict < 0
-            if op == "<=":
-                return verdict <= 0
-            if op == ">":
-                return verdict > 0
-            return verdict >= 0
-
-        if op == "IN":
-            return self._in(left, right)
-        if op in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
-            if not isinstance(left, str) or not isinstance(right, str):
-                return None
-            if op == "STARTS WITH":
-                return left.startswith(right)
-            if op == "ENDS WITH":
-                return left.endswith(right)
-            return right in left
-        if op == "=~":
-            if not isinstance(left, str) or not isinstance(right, str):
-                return None
-            try:
-                return re.fullmatch(right, left) is not None
-            except re.error as exc:
-                raise CypherRuntimeError(f"invalid regex: {exc}") from exc
-
+        handler = _BINOPS.get(op)
+        if handler is not None:
+            return handler(self, left, right)
         return self._arithmetic(op, left, right)
+
+    def _op_eq(self, left: Any, right: Any) -> Any:
+        return V.ternary_equals(left, right)
+
+    def _op_neq(self, left: Any, right: Any) -> Any:
+        return V.ternary_not(V.ternary_equals(left, right))
+
+    def _op_lt(self, left: Any, right: Any) -> Any:
+        verdict = V.ternary_compare(left, right)
+        return None if verdict is None else verdict < 0
+
+    def _op_le(self, left: Any, right: Any) -> Any:
+        verdict = V.ternary_compare(left, right)
+        return None if verdict is None else verdict <= 0
+
+    def _op_gt(self, left: Any, right: Any) -> Any:
+        verdict = V.ternary_compare(left, right)
+        return None if verdict is None else verdict > 0
+
+    def _op_ge(self, left: Any, right: Any) -> Any:
+        verdict = V.ternary_compare(left, right)
+        return None if verdict is None else verdict >= 0
+
+    def _op_starts_with(self, left: Any, right: Any) -> Any:
+        if not isinstance(left, str) or not isinstance(right, str):
+            return None
+        return left.startswith(right)
+
+    def _op_ends_with(self, left: Any, right: Any) -> Any:
+        if not isinstance(left, str) or not isinstance(right, str):
+            return None
+        return left.endswith(right)
+
+    def _op_contains(self, left: Any, right: Any) -> Any:
+        if not isinstance(left, str) or not isinstance(right, str):
+            return None
+        return right in left
+
+    def _op_regex(self, left: Any, right: Any) -> Any:
+        if not isinstance(left, str) or not isinstance(right, str):
+            return None
+        try:
+            return re.fullmatch(right, left) is not None
+        except re.error as exc:
+            raise CypherRuntimeError(f"invalid regex: {exc}") from exc
 
     def _in(self, needle: Any, haystack: Any) -> Optional[bool]:
         if haystack is None:
@@ -363,3 +418,43 @@ class Evaluator:
         if expr.default is not None:
             return self.evaluate(expr.default, row)
         return None
+
+
+# Binary-operator dispatch: boolean connectives coerce their operands, all
+# other operators receive plainly evaluated values; arithmetic is the
+# fallthrough in Evaluator._binary.
+_CONNECTIVES = {"AND": V.ternary_and, "OR": V.ternary_or, "XOR": V.ternary_xor}
+_BINOPS = {
+    "=": Evaluator._op_eq,
+    "<>": Evaluator._op_neq,
+    "<": Evaluator._op_lt,
+    "<=": Evaluator._op_le,
+    ">": Evaluator._op_gt,
+    ">=": Evaluator._op_ge,
+    "IN": Evaluator._in,
+    "STARTS WITH": Evaluator._op_starts_with,
+    "ENDS WITH": Evaluator._op_ends_with,
+    "CONTAINS": Evaluator._op_contains,
+    "=~": Evaluator._op_regex,
+}
+
+# Exact-type handler table for Evaluator._eval; ordering is irrelevant here,
+# unlike the isinstance chain it replaces, because lookup is by concrete type.
+_DISPATCH = {
+    ast.Literal: Evaluator._eval_literal,
+    ast.Variable: Evaluator._eval_variable,
+    ast.PropertyAccess: Evaluator._property,
+    ast.Unary: Evaluator._unary,
+    ast.Binary: Evaluator._binary,
+    ast.IsNull: Evaluator._eval_is_null,
+    ast.FunctionCall: Evaluator._eval_function,
+    ast.CountStar: Evaluator._eval_count_star,
+    ast.ListLiteral: Evaluator._eval_list_literal,
+    ast.MapLiteral: Evaluator._eval_map_literal,
+    ast.ListComprehension: Evaluator._comprehension,
+    ast.ListIndex: Evaluator._index,
+    ast.ListSlice: Evaluator._slice,
+    ast.CaseExpression: Evaluator._case,
+    ast.PatternPredicate: Evaluator._pattern_predicate,
+    ast.LabelsPredicate: Evaluator._eval_labels_predicate,
+}

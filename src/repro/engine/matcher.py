@@ -139,10 +139,9 @@ class Matcher:
 
         if node_pattern.labels:
             # Label index lookup; intersect on the first label.
-            candidates = self.graph.nodes_with_label(node_pattern.labels[0])
-            candidates = sorted(candidates, key=lambda n: n.id)
+            candidates = self.graph.nodes_with_label_sorted(node_pattern.labels[0])
         else:
-            candidates = sorted(self.graph.nodes(), key=lambda n: n.id)
+            candidates = self.graph.nodes_sorted()
 
         for node in candidates:
             if self._node_matches(node_pattern, node, bindings, check_binding=False):
@@ -198,10 +197,10 @@ class Matcher:
         self, direction: str, current: Node
     ) -> Iterator[Tuple[Relationship, int]]:
         if direction in (ast.OUT, ast.BOTH):
-            for rel in sorted(self.graph.outgoing(current.id), key=lambda r: r.id):
+            for rel in self.graph.outgoing_sorted(current.id):
                 yield rel, rel.end
         if direction in (ast.IN, ast.BOTH):
-            for rel in sorted(self.graph.incoming(current.id), key=lambda r: r.id):
+            for rel in self.graph.incoming_sorted(current.id):
                 # Skip self-loops already produced by the outgoing side.
                 if direction == ast.BOTH and rel.start == rel.end:
                     continue

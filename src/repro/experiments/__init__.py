@@ -5,7 +5,9 @@ from repro.experiments.campaign import (
     FULL_CAMPAIGN_GATE_SCALE,
     FULL_CAMPAIGN_MAX_QUERIES,
     TESTER_NAMES,
+    campaign_grid_cells,
     make_tester,
+    run_campaign_grid,
     run_tool_campaign,
     tester_supports,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "FULL_CAMPAIGN_MAX_QUERIES",
     "TESTER_NAMES",
     "make_tester",
+    "campaign_grid_cells",
+    "run_campaign_grid",
     "run_tool_campaign",
     "tester_supports",
     "table2",

@@ -23,9 +23,8 @@ harness compresses time and documents it:
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.baselines import (
     GDBMeterTester,
@@ -36,6 +35,14 @@ from repro.baselines import (
 )
 from repro.core.runner import CampaignResult, GQSTester
 from repro.gdb import ALL_ENGINE_NAMES, create_engine, faults_for
+from repro.runtime import (
+    CampaignCell,
+    CampaignKernel,
+    CellKey,
+    EventLog,
+    ParallelCampaignRunner,
+    derive_cell_seed,
+)
 
 __all__ = [
     "DAY_EQUIVALENT_SECONDS",
@@ -45,6 +52,8 @@ __all__ = [
     "tester_supports",
     "make_tester",
     "run_tool_campaign",
+    "campaign_grid_cells",
+    "run_campaign_grid",
     "split_fault_counts",
 ]
 
@@ -108,13 +117,90 @@ def run_tool_campaign(
     seed: int = 0,
     gate_scale: float = 1.0,
     max_queries: Optional[int] = None,
+    events: Optional[EventLog] = None,
 ) -> Optional[CampaignResult]:
-    """Run one tool against one engine; None when unsupported."""
+    """Run one tool against one engine through the shared campaign kernel;
+    None when unsupported."""
     if not tester_supports(tester_name, engine_name):
         return None
     engine = create_engine(engine_name, gate_scale=gate_scale)
     tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
-    return tester.run(engine, budget_seconds, seed=seed, max_queries=max_queries)
+    kernel = CampaignKernel(events=events)
+    return kernel.run(
+        tester, engine, budget_seconds, seed=seed, max_queries=max_queries
+    )
+
+
+def campaign_grid_cells(
+    testers: Sequence[str],
+    engines: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    budget_seconds: float = DAY_EQUIVALENT_SECONDS,
+    gate_scale: float = 1.0,
+    max_queries: Optional[int] = None,
+    derive_seeds: bool = False,
+) -> list:
+    """Build the (tester × engine × seed) cell list, skipping unsupported
+    pairings (the "-" cells of Tables 4 and 6).
+
+    With ``derive_seeds=True`` each cell's RNG seed is decorrelated from the
+    base seed via :func:`repro.runtime.derive_cell_seed`; the default keeps
+    the base seed verbatim, matching the paper harness's convention of one
+    shared seed per grid.
+    """
+    cells = []
+    for tester in testers:
+        for engine in engines:
+            if not tester_supports(tester, engine):
+                continue
+            for seed in seeds:
+                cell_seed = (
+                    derive_cell_seed(tester, engine, seed)
+                    if derive_seeds
+                    else seed
+                )
+                cells.append(
+                    CampaignCell(
+                        tester=tester,
+                        engine=engine,
+                        seed=cell_seed,
+                        budget_seconds=budget_seconds,
+                        gate_scale=gate_scale,
+                        max_queries=max_queries,
+                    )
+                )
+    return cells
+
+
+def run_campaign_grid(
+    testers: Sequence[str],
+    engines: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    budget_seconds: float = DAY_EQUIVALENT_SECONDS,
+    gate_scale: float = 1.0,
+    max_queries: Optional[int] = None,
+    derive_seeds: bool = False,
+    jobs: int = 1,
+    events_path: Optional[Union[str, Path]] = None,
+    resume_path: Optional[Union[str, Path]] = None,
+) -> Dict[CellKey, CampaignResult]:
+    """Run a full campaign grid, optionally parallel and resumable.
+
+    Results are keyed ``(tester, engine, seed)`` in grid order and are
+    identical for any ``jobs`` value; with ``resume_path`` cells already
+    checkpointed in that event log are merged in without re-running.
+    """
+    cells = campaign_grid_cells(
+        testers,
+        engines,
+        seeds=seeds,
+        budget_seconds=budget_seconds,
+        gate_scale=gate_scale,
+        max_queries=max_queries,
+        derive_seeds=derive_seeds,
+    )
+    runner = ParallelCampaignRunner(jobs=jobs, events_path=events_path)
+    return runner.run(cells, resume_path=resume_path)
 
 
 def split_fault_counts(fault_ids: Sequence[str]) -> Tuple[int, int]:

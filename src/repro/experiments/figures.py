@@ -148,22 +148,24 @@ def figure15(records) -> Dict[str, int]:
 
 
 def figure18(
-    campaigns: Dict[Tuple[str, str], CampaignResult],
+    campaigns: Dict[Tuple, CampaignResult],
     engines: Sequence[str] = ("neo4j", "falkordb"),
     n_points: int = 12,
 ) -> Dict[str, Dict[str, List[Tuple[float, int]]]]:
     """Cumulative bugs over the 24-hour-equivalent campaign (Figure 18).
 
-    Takes the campaign results of Table 6 and returns, per engine and tool,
-    a series of (time fraction of budget, cumulative distinct bugs).
+    Takes the campaign results of Table 6 — keyed ``(tester, engine)`` or,
+    straight from :func:`repro.experiments.run_campaign_grid`,
+    ``(tester, engine, seed)`` — and returns, per engine and tool, a series
+    of (time fraction of budget, cumulative distinct bugs).
     """
     out: Dict[str, Dict[str, List[Tuple[float, int]]]] = {}
     for engine in engines:
         engine_series: Dict[str, List[Tuple[float, int]]] = {}
         relevant = {
-            tool: result
-            for (tool, engine_name), result in campaigns.items()
-            if engine_name == engine
+            key[0]: result
+            for key, result in campaigns.items()
+            if key[1] == engine
         }
         if not relevant:
             continue

@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.baselines import GDBMeterTester, GDsmithTester, GRevTester
 from repro.baselines.common import RandomQueryGenerator
-from repro.core.runner import CampaignResult, GQSTester
+from repro.core.runner import CampaignResult
 from repro.cypher.analysis import analyze
 from repro.cypher.parser import parse_query
 from repro.cypher.printer import print_query
@@ -21,7 +21,7 @@ from repro.experiments.campaign import (
     FULL_CAMPAIGN_MAX_QUERIES,
     TESTER_NAMES,
     make_tester,
-    run_tool_campaign,
+    run_campaign_grid,
     split_fault_counts,
     tester_supports,
 )
@@ -29,6 +29,7 @@ from repro.core import QuerySynthesizer
 from repro.core.runner import synthesizer_config_for
 from repro.gdb import DIALECTS, create_engine, faults_for, gqs_scope_faults
 from repro.graph.generator import GraphGenerator
+from repro.runtime import CampaignCell, ParallelCampaignRunner
 
 __all__ = [
     "table2",
@@ -71,17 +72,27 @@ def run_full_gqs_campaigns(
     seed: int = 0,
     max_queries: int = FULL_CAMPAIGN_MAX_QUERIES,
     gate_scale: float = FULL_CAMPAIGN_GATE_SCALE,
+    jobs: int = 1,
 ) -> Dict[str, CampaignResult]:
-    """The compressed analogue of the paper's months-long campaign."""
-    results: Dict[str, CampaignResult] = {}
-    for index, name in enumerate(_PAPER_ENGINE_ORDER):
-        engine = create_engine(name, gate_scale=gate_scale)
-        tester = GQSTester()
-        results[name] = tester.run(
-            engine, budget_seconds=float("inf"), seed=seed + index,
+    """The compressed analogue of the paper's months-long campaign.
+
+    One GQS cell per engine, fanned out over *jobs* workers; each engine
+    keeps its historical per-engine seed (``seed + engine_index``) so the
+    detected-fault record is independent of the worker count.
+    """
+    cells = [
+        CampaignCell(
+            tester="GQS", engine=name, seed=seed + index,
+            budget_seconds=float("inf"), gate_scale=gate_scale,
             max_queries=max_queries,
         )
-    return results
+        for index, name in enumerate(_PAPER_ENGINE_ORDER)
+    ]
+    grid = ParallelCampaignRunner(jobs=jobs).run(cells)
+    return {
+        name: grid[("GQS", name, seed + index)]
+        for index, name in enumerate(_PAPER_ENGINE_ORDER)
+    }
 
 
 def table3(
@@ -284,28 +295,43 @@ def _average_metrics_for_gqs(n_queries: int, seed: int):
 # ---------------------------------------------------------------------------
 
 def table6(
-    seed: int = 0, budget_seconds: float = DAY_EQUIVALENT_SECONDS
+    seed: int = 0,
+    budget_seconds: float = DAY_EQUIVALENT_SECONDS,
+    jobs: int = 1,
+    events_path=None,
+    resume_path=None,
 ) -> Tuple[List[Dict[str, object]], Dict[Tuple[str, str], CampaignResult]]:
     """24-hour-equivalent campaign for every tool on Neo4j/Memgraph/FalkorDB.
 
-    Returns the table rows plus the raw campaign results (reused by
-    Figure 18).
+    The full (tester × engine) grid runs through
+    :class:`repro.runtime.ParallelCampaignRunner` — *jobs* workers, with an
+    optional JSONL event log (*events_path*) and checkpoint resume
+    (*resume_path*).  Returns the table rows plus the raw campaign results
+    (reused by Figure 18); the rows are identical for any *jobs* value.
     """
     engines_in_scope = ("neo4j", "memgraph", "falkordb")
     tool_order = ("GDsmith", "GDBMeter", "Gamera", "GQT", "GRev", "GQS")
+    grid = run_campaign_grid(
+        tool_order,
+        engines_in_scope,
+        seeds=(seed,),
+        budget_seconds=budget_seconds,
+        jobs=jobs,
+        events_path=events_path,
+        resume_path=resume_path,
+    )
+    campaigns: Dict[Tuple[str, str], CampaignResult] = {
+        (tool, engine): result for (tool, engine, _seed), result in grid.items()
+    }
     rows = []
-    campaigns: Dict[Tuple[str, str], CampaignResult] = {}
     for tool in tool_order:
         row: Dict[str, object] = {"Tester": tool}
         total = total_logic = 0
         for engine_name in engines_in_scope:
-            result = run_tool_campaign(
-                tool, engine_name, budget_seconds=budget_seconds, seed=seed
-            )
+            result = campaigns.get((tool, engine_name))
             if result is None:
                 row[engine_name] = "-"
                 continue
-            campaigns[(tool, engine_name)] = result
             logic, other = split_fault_counts(result.detected_faults)
             row[engine_name] = f"{logic + other} ({logic})"
             total += logic + other

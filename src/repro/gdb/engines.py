@@ -15,6 +15,7 @@ root-cause deduplication the paper performs (§7, Limitations).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, List, Optional, Union
 
 from repro.cypher import ast
@@ -41,6 +42,7 @@ __all__ = [
     "KuzuSim",
     "FalkorDBSim",
     "ReferenceGDB",
+    "EngineSpec",
     "create_engine",
     "ALL_ENGINE_NAMES",
 ]
@@ -282,3 +284,24 @@ def create_engine(
     except KeyError:
         raise ValueError(f"unknown engine {name!r}") from None
     return cls(faults_enabled=faults_enabled, gate_scale=gate_scale)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable recipe for building an engine inside a worker process.
+
+    Engine instances hold a loaded graph and a live executor, so they never
+    cross process boundaries; the parallel campaign runner ships this spec
+    instead and each worker calls :meth:`create` locally.
+    """
+
+    name: str
+    faults_enabled: bool = True
+    gate_scale: float = 1.0
+
+    def create(self) -> GraphDatabase:
+        return create_engine(
+            self.name,
+            faults_enabled=self.faults_enabled,
+            gate_scale=self.gate_scale,
+        )

@@ -118,6 +118,14 @@ class Path:
         return len(self.relationships)
 
 
+def _node_id(node: "Node") -> int:
+    return node.id
+
+
+def _rel_id(rel: "Relationship") -> int:
+    return rel.id
+
+
 class PropertyGraph:
     """A labeled property graph with adjacency and label indexes.
 
@@ -136,6 +144,21 @@ class PropertyGraph:
         self._type_index: Dict[str, set] = {}
         self._next_node_id = 0
         self._next_rel_id = 0
+        # Lazily built sorted views used by the matcher's hot loops; any
+        # structural mutation drops them (see _invalidate_sorted_views).
+        self._sorted_out: Dict[int, List[Relationship]] = {}
+        self._sorted_in: Dict[int, List[Relationship]] = {}
+        self._sorted_label: Dict[str, List[Node]] = {}
+        self._sorted_nodes: Optional[List[Node]] = None
+
+    def _invalidate_sorted_views(self) -> None:
+        if self._sorted_out:
+            self._sorted_out = {}
+        if self._sorted_in:
+            self._sorted_in = {}
+        if self._sorted_label:
+            self._sorted_label = {}
+        self._sorted_nodes = None
 
     # -- construction -------------------------------------------------
 
@@ -152,6 +175,7 @@ class PropertyGraph:
             raise ValueError(f"duplicate node id {node_id}")
         self._next_node_id = max(self._next_node_id, node_id + 1)
         node = Node(node_id, labels, properties)
+        self._invalidate_sorted_views()
         self._nodes[node_id] = node
         self._outgoing.setdefault(node_id, [])
         self._incoming.setdefault(node_id, [])
@@ -176,6 +200,7 @@ class PropertyGraph:
             raise ValueError(f"duplicate relationship id {rel_id}")
         self._next_rel_id = max(self._next_rel_id, rel_id + 1)
         rel = Relationship(rel_id, rel_type, start, end, properties)
+        self._invalidate_sorted_views()
         self._relationships[rel_id] = rel
         self._outgoing[start].append(rel_id)
         self._incoming[end].append(rel_id)
@@ -185,6 +210,7 @@ class PropertyGraph:
     def remove_relationship(self, rel_id: int) -> None:
         """Delete a relationship (used by graph-update tests)."""
         rel = self._relationships.pop(rel_id)
+        self._invalidate_sorted_views()
         self._outgoing[rel.start].remove(rel_id)
         self._incoming[rel.end].remove(rel_id)
         self._type_index[rel.type].discard(rel_id)
@@ -196,6 +222,7 @@ class PropertyGraph:
                 f"node {node_id} still has relationships (use detach_delete)"
             )
         node = self._nodes.pop(node_id)
+        self._invalidate_sorted_views()
         for label in node.labels:
             self._label_index[label].discard(node_id)
         self._outgoing.pop(node_id, None)
@@ -263,6 +290,36 @@ class PropertyGraph:
 
     def incoming(self, node_id: int) -> List[Relationship]:
         return [self._relationships[rid] for rid in self._incoming.get(node_id, ())]
+
+    def outgoing_sorted(self, node_id: int) -> List[Relationship]:
+        """Outgoing relationships sorted by id (cached; see matcher)."""
+        rels = self._sorted_out.get(node_id)
+        if rels is None:
+            rels = sorted(self.outgoing(node_id), key=_rel_id)
+            self._sorted_out[node_id] = rels
+        return rels
+
+    def incoming_sorted(self, node_id: int) -> List[Relationship]:
+        """Incoming relationships sorted by id (cached; see matcher)."""
+        rels = self._sorted_in.get(node_id)
+        if rels is None:
+            rels = sorted(self.incoming(node_id), key=_rel_id)
+            self._sorted_in[node_id] = rels
+        return rels
+
+    def nodes_with_label_sorted(self, label: str) -> List[Node]:
+        """Label-index lookup sorted by node id (cached)."""
+        nodes = self._sorted_label.get(label)
+        if nodes is None:
+            nodes = sorted(self.nodes_with_label(label), key=_node_id)
+            self._sorted_label[label] = nodes
+        return nodes
+
+    def nodes_sorted(self) -> List[Node]:
+        """All nodes sorted by id (cached)."""
+        if self._sorted_nodes is None:
+            self._sorted_nodes = sorted(self._nodes.values(), key=_node_id)
+        return self._sorted_nodes
 
     def touching(self, node_id: int) -> List[Relationship]:
         """All relationships attached to *node_id*, either direction."""

@@ -102,6 +102,12 @@ def ternary_equals(left: Any, right: Any) -> Optional[bool]:
     if left is None or right is None:
         return None
 
+    # Same-concrete-type fast path: only floats need the NaN treatment.
+    if left.__class__ is right.__class__:
+        cls = left.__class__
+        if cls is int or cls is str or cls is bool:
+            return left == right
+
     if _is_number(left) and _is_number(right):
         if isinstance(left, float) and math.isnan(left):
             return False

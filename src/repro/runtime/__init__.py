@@ -1,0 +1,34 @@
+"""The unified campaign runtime.
+
+One pluggable kernel (:class:`CampaignKernel`) runs every tester —
+GQS and all five baselines — through a single loop, parameterized by the
+:class:`TesterProtocol` they implement; :class:`ParallelCampaignRunner`
+fans (tester × engine × seed) grids out over a process pool with an
+event-stream checkpoint so interrupted grids resume from the last
+completed cell.
+"""
+
+from repro.runtime.events import EventLog
+from repro.runtime.kernel import CampaignKernel
+from repro.runtime.parallel import (
+    CampaignCell,
+    CellKey,
+    ParallelCampaignRunner,
+    derive_cell_seed,
+)
+from repro.runtime.protocol import Judgement, SessionPolicy, TesterProtocol
+from repro.runtime.results import BugReport, CampaignResult
+
+__all__ = [
+    "BugReport",
+    "CampaignResult",
+    "CampaignKernel",
+    "CampaignCell",
+    "CellKey",
+    "EventLog",
+    "Judgement",
+    "ParallelCampaignRunner",
+    "SessionPolicy",
+    "TesterProtocol",
+    "derive_cell_seed",
+]

@@ -1,0 +1,98 @@
+"""The campaign event stream.
+
+Every campaign run through :class:`repro.runtime.CampaignKernel` narrates
+itself as a sequence of plain-dict events (campaign started, graph loaded,
+query issued, fault detected, crash, cell checkpoint).  Events serve two
+purposes:
+
+* **observability** — a grid run can be tailed live from its JSONL log;
+* **checkpoint/resume** — :class:`repro.runtime.ParallelCampaignRunner`
+  appends a ``cell_complete`` event (carrying the full serialized
+  :class:`~repro.runtime.results.CampaignResult`) after every finished grid
+  cell, so an interrupted grid resumes from the last completed cell via
+  :func:`repro.core.reporting.completed_cells_from_events`.
+
+The JSONL (de)serialization itself lives in :mod:`repro.core.reporting`
+alongside the campaign persistence format; this module only owns the
+in-memory log and its write-through policy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+__all__ = ["EventLog"]
+
+Event = Dict[str, Any]
+
+
+class EventLog:
+    """An append-only event sink, optionally written through to JSONL.
+
+    Events are buffered in memory (grid workers return them to the parent
+    process) and, when *path* is given, appended to the file one JSON line
+    per event, flushed immediately — so a killed run leaves a usable log.
+
+    ``query`` events are high-volume (one per test query) and are dropped
+    unless ``record_queries`` is set; everything else is always kept.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        record_queries: bool = False,
+        append: bool = True,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.record_queries = record_queries
+        self._append = append
+        self._events: List[Event] = []
+        self._handle: Optional[TextIO] = None
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, kind: str, /, **payload: Any) -> Optional[Event]:
+        """Record one event; returns it (or None when filtered out)."""
+        if kind == "query" and not self.record_queries:
+            return None
+        event: Event = {"event": kind, **payload}
+        self._events.append(event)
+        if self.path is not None:
+            from repro.core.reporting import event_to_json_line
+
+            if self._handle is None:
+                mode = "a" if self._append else "w"
+                self._handle = self.path.open(mode, encoding="utf-8")
+            self._handle.write(event_to_json_line(event) + "\n")
+            self._handle.flush()
+        return event
+
+    def extend(self, events: List[Event]) -> None:
+        """Re-emit *events* (e.g. forwarded from a worker process)."""
+        for event in events:
+            self.emit(event["event"], **{k: v for k, v in event.items()
+                                         if k != "event"})
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [event for event in self._events if event["event"] == kind]
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,138 @@
+"""The single campaign loop shared by all six testers (paper §3.1 / §5.4).
+
+One kernel iteration: draw a graph seed, generate a random graph, load it
+under the tester's session policy, then pull query proposals from the
+tester and judge them until the graph is exhausted or the budget runs out.
+The kernel owns the simulated clock bookkeeping, budget/query-cap
+accounting, crash/restart handling, fault deduplication, trigger-record
+collection, and the event stream — everything that used to be duplicated
+across ``GQSTester.run``, ``BaselineTester.run`` and ``GDsmithTester.run``.
+
+Campaigns advance a *simulated* wall clock driven by the engines' cost
+model, which is how the 24-hour experiments (§5.4.4) are reproduced without
+24 real hours.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.graph.generator import GraphGenerator
+from repro.runtime.events import EventLog
+from repro.runtime.protocol import Judgement, TesterProtocol
+from repro.runtime.results import CampaignResult
+
+__all__ = ["CampaignKernel"]
+
+_DONE = object()
+
+
+class CampaignKernel:
+    """Budget-driven campaign executor for any :class:`TesterProtocol`."""
+
+    def __init__(self, events: Optional[EventLog] = None):
+        self.events = events if events is not None else EventLog()
+
+    def run(
+        self,
+        tester: TesterProtocol,
+        engine,
+        budget_seconds: float,
+        seed: int = 0,
+        max_queries: Optional[int] = None,
+    ) -> CampaignResult:
+        """Run one (simulated-time-budgeted) campaign of *tester* on *engine*."""
+        rng = random.Random(seed)
+        result = CampaignResult(tester.name, engine.name)
+        seen_faults: set = set()
+        tester.campaign_begin(engine, rng)
+        self.events.emit(
+            "campaign_start",
+            tester=tester.name,
+            engine=engine.name,
+            seed=seed,
+            budget_seconds=budget_seconds,
+            max_queries=max_queries,
+            restart_per_graph=tester.session.restart_per_graph,
+        )
+
+        first_load = True
+        while self._within_budget(result, budget_seconds, max_queries):
+            # A fresh random graph per outer iteration; the restart decision
+            # is the tester's declared session policy (§5.4.4).
+            generator = GraphGenerator(
+                seed=rng.randrange(2**32), config=tester.generator_config
+            )
+            schema, graph = generator.generate_with_schema()
+            restart = tester.session.restart_per_graph or first_load
+            tester.load_graph(engine, graph, schema, restart)
+            first_load = False
+            self.events.emit(
+                "graph",
+                nodes=graph.node_count,
+                relationships=graph.relationship_count,
+                restart=restart,
+                sim_time=result.sim_seconds,
+            )
+
+            proposals = tester.proposals(engine, graph, schema, rng)
+            while self._within_budget(result, budget_seconds, max_queries):
+                proposal = next(proposals, _DONE)
+                if proposal is _DONE:
+                    break
+                judgement = tester.judge(engine, proposal, graph, rng, result)
+                result.queries_run += 1
+                self.events.emit(
+                    "query", n=result.queries_run, sim_time=result.sim_seconds
+                )
+                self._record(result, judgement, seen_faults)
+                if tester.recover(engine, graph, schema):
+                    self.events.emit(
+                        "crash", engine=engine.name, sim_time=result.sim_seconds
+                    )
+
+        self.events.emit(
+            "campaign_end",
+            tester=tester.name,
+            engine=engine.name,
+            queries_run=result.queries_run,
+            sim_seconds=result.sim_seconds,
+            detected_faults=result.detected_faults,
+            false_positives=result.false_positive_count,
+        )
+        return result
+
+    # -- internals --------------------------------------------------------
+
+    @staticmethod
+    def _within_budget(
+        result: CampaignResult,
+        budget_seconds: float,
+        max_queries: Optional[int],
+    ) -> bool:
+        if result.sim_seconds >= budget_seconds:
+            return False
+        if max_queries is not None and result.queries_run >= max_queries:
+            return False
+        return True
+
+    def _record(
+        self, result: CampaignResult, judgement: Judgement, seen_faults: set
+    ) -> None:
+        report = judgement.report
+        if report is None:
+            return
+        result.reports.append(report)
+        if report.fault_id and report.fault_id not in seen_faults:
+            seen_faults.add(report.fault_id)
+            result.timeline.append((report.sim_time, report.fault_id))
+            if judgement.trigger_record is not None:
+                result.trigger_records.append(judgement.trigger_record())
+            self.events.emit(
+                "fault",
+                fault_id=report.fault_id,
+                kind=report.kind,
+                sim_time=report.sim_time,
+                engine=report.engine,
+            )

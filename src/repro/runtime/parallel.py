@@ -1,0 +1,193 @@
+"""Parallel (tester × engine × seed) campaign fan-out.
+
+The paper's evaluation grid (6 testers × 4 engines × seeds; Table 6,
+Figure 18) is embarrassingly parallel: every cell is an independent
+campaign with its own engine instance and its own deterministic RNG.  This
+module fans the grid out over a ``multiprocessing`` pool:
+
+* **Determinism** — each cell's seed is fixed *in the cell spec*, before
+  any work is scheduled, and cells are merged back in grid order, so the
+  result is byte-identical for ``jobs=1`` and ``jobs=8``.  Replicate seeds
+  are derived with :func:`derive_cell_seed` (SHA-256 over the cell
+  identity — never Python's salted ``hash``), stable across worker counts,
+  platforms and runs.
+* **Worker safety** — workers receive only primitives (names and numbers)
+  and rebuild the engine/tester inside the child via
+  :class:`repro.gdb.engines.EngineSpec`, so nothing unpicklable crosses the
+  process boundary.
+* **Checkpoint/resume** — as each cell completes, its events and a
+  ``cell_complete`` checkpoint (the full serialized campaign) are appended
+  to the JSONL event log; an interrupted grid re-run with
+  ``resume_path=...`` skips every cell already on record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.events import EventLog
+from repro.runtime.results import CampaignResult
+
+__all__ = [
+    "CampaignCell",
+    "CellKey",
+    "ParallelCampaignRunner",
+    "derive_cell_seed",
+]
+
+CellKey = Tuple[str, str, int]
+
+
+def derive_cell_seed(tester: str, engine: str, seed: int) -> int:
+    """Deterministic per-cell seed, stable across worker counts and runs.
+
+    Distinct grid cells sharing one base seed must not replay the same
+    random trajectory against different targets; hashing the full cell
+    identity decorrelates them while staying reproducible (SHA-256, not the
+    per-process-salted ``hash``).
+    """
+    digest = hashlib.sha256(f"{tester}|{engine}|{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (tester, engine, seed) cell of a campaign grid."""
+
+    tester: str
+    engine: str
+    seed: int
+    budget_seconds: float
+    gate_scale: float = 1.0
+    max_queries: Optional[int] = None
+
+    @property
+    def key(self) -> CellKey:
+        return (self.tester, self.engine, self.seed)
+
+
+def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
+    """Worker entry point: run one grid cell, return (campaign, events).
+
+    Imports are local so the module stays import-cycle-free (the runtime
+    layer must not statically depend on the experiment harness) and so
+    ``spawn``-based pools re-import only what they need.
+    """
+    (tester_name, engine_name, seed, budget_seconds, gate_scale,
+     max_queries, record_queries) = spec
+    from repro.core.reporting import campaign_to_dict
+    from repro.experiments.campaign import make_tester
+    from repro.gdb.engines import EngineSpec
+    from repro.runtime.kernel import CampaignKernel
+
+    engine = EngineSpec(engine_name, gate_scale=gate_scale).create()
+    tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
+    log = EventLog(record_queries=record_queries)
+    result = CampaignKernel(events=log).run(
+        tester,
+        engine,
+        budget_seconds,
+        seed=seed,
+        max_queries=max_queries,
+    )
+    return campaign_to_dict(result), log.events
+
+
+class ParallelCampaignRunner:
+    """Fan a list of campaign cells out over a process pool and merge back.
+
+    ``jobs=1`` runs inline (no pool), which doubles as the determinism
+    reference for the parallel path.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        events_path: Optional[Union[str, Path]] = None,
+        record_queries: bool = False,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.events_path = Path(events_path) if events_path else None
+        self.record_queries = record_queries
+
+    def run(
+        self,
+        cells: Sequence[CampaignCell],
+        resume_path: Optional[Union[str, Path]] = None,
+    ) -> Dict[CellKey, CampaignResult]:
+        """Run every cell; returns results keyed and ordered by the grid.
+
+        With *resume_path*, cells checkpointed in that event log are not
+        re-run; their stored results are merged in as-is.
+        """
+        cells = list(cells)
+        if len({cell.key for cell in cells}) != len(cells):
+            raise ValueError("duplicate (tester, engine, seed) cells in grid")
+
+        done: Dict[CellKey, CampaignResult] = {}
+        if resume_path is not None and Path(resume_path).exists():
+            from repro.core.reporting import (
+                completed_cells_from_events,
+                load_event_stream,
+            )
+
+            recorded = completed_cells_from_events(load_event_stream(resume_path))
+            done = {key: recorded[key] for key in recorded
+                    if key in {cell.key for cell in cells}}
+
+        pending = [cell for cell in cells if cell.key not in done]
+        with EventLog(self.events_path) as log:
+            log.emit(
+                "grid_start",
+                cells=len(cells),
+                resumed=len(done),
+                pending=len(pending),
+                jobs=self.jobs,
+            )
+            for cell, (campaign, events) in zip(
+                pending, self._execute(pending)
+            ):
+                log.extend(events)
+                from repro.core.reporting import campaign_from_dict
+
+                done[cell.key] = campaign_from_dict(campaign)
+                log.emit(
+                    "cell_complete",
+                    tester=cell.tester,
+                    engine=cell.engine,
+                    seed=cell.seed,
+                    campaign=campaign,
+                )
+            log.emit("grid_end", cells=len(cells))
+        return {cell.key: done[cell.key] for cell in cells}
+
+    # -- execution strategies --------------------------------------------
+
+    def _specs(self, cells: Sequence[CampaignCell]) -> List[Tuple]:
+        return [
+            (cell.tester, cell.engine, cell.seed, cell.budget_seconds,
+             cell.gate_scale, cell.max_queries, self.record_queries)
+            for cell in cells
+        ]
+
+    def _execute(
+        self, cells: Sequence[CampaignCell]
+    ) -> Iterable[Tuple[Dict, List[Dict]]]:
+        specs = self._specs(cells)
+        if self.jobs == 1 or len(cells) <= 1:
+            for spec in specs:
+                yield _run_cell(spec)
+            return
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        with context.Pool(processes=min(self.jobs, len(cells))) as pool:
+            # imap preserves grid order while letting finished cells be
+            # checkpointed as soon as every earlier cell is done.
+            yield from pool.imap(_run_cell, specs)

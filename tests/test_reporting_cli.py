@@ -8,8 +8,12 @@ from repro.cli import build_parser, main
 from repro.core.reporting import (
     campaign_from_dict,
     campaign_to_dict,
+    completed_cells_from_events,
+    event_to_json_line,
     load_campaign,
+    load_event_stream,
     save_campaign,
+    save_event_stream,
 )
 from repro.core.runner import BugReport, CampaignResult, GQSTester
 from repro.gdb import create_engine
@@ -103,3 +107,99 @@ class TestCLI:
     def test_table2_command(self, capsys):
         assert main(["table", "2"]) == 0
         assert "Neo4j" in capsys.readouterr().out
+
+    def test_parser_accepts_table4_and_grid_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["table", "4", "--jobs", "2"])
+        assert args.id == 4 and args.jobs == 2
+        args = parser.parse_args(
+            ["campaign", "--seeds", "3", "--jobs", "2", "--events", "e.jsonl"]
+        )
+        assert (args.seeds, args.jobs, args.events) == (3, 2, "e.jsonl")
+        args = parser.parse_args(["compare", "--jobs", "4", "--resume", "r.jsonl"])
+        assert args.jobs == 4 and args.resume == "r.jsonl"
+
+    def test_compare_command_with_jobs(self, capsys):
+        assert main([
+            "compare", "--engine", "falkordb", "--minutes", "0.05",
+            "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        for tool in ("GQS", "GDsmith", "GRev"):
+            assert tool in out
+
+    def test_campaign_seed_replicates_with_events(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main([
+            "campaign", "--engine", "falkordb", "--minutes", "0.05",
+            "--seeds", "2", "--jobs", "2", "--events", str(log),
+        ]) == 0
+        assert "union over 2 seeds" in capsys.readouterr().out
+        kinds = [event["event"] for event in load_event_stream(log)]
+        assert kinds.count("cell_complete") == 2
+
+
+class TestEventStream:
+    """Round-trips of the campaign event-stream records (repro.runtime)."""
+
+    def events(self, campaign):
+        return [
+            {"event": "grid_start", "cells": 1, "jobs": 2},
+            {"event": "campaign_start", "tester": "GQS", "engine": "falkordb",
+             "seed": 0, "budget_seconds": 20.0, "max_queries": None,
+             "restart_per_graph": True},
+            {"event": "fault", "fault_id": "falkordb-L1", "kind": "logic",
+             "sim_time": 1.5, "engine": "falkordb"},
+            {"event": "crash", "engine": "falkordb", "sim_time": 2.0},
+            {"event": "cell_complete", "tester": "GQS", "engine": "falkordb",
+             "seed": 0, "campaign": campaign_to_dict(campaign)},
+            {"event": "grid_end", "cells": 1},
+        ]
+
+    def test_jsonl_round_trip(self, campaign, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = self.events(campaign)
+        save_event_stream(events, path)
+        assert load_event_stream(path) == events
+
+    def test_event_lines_are_compact_single_line_json(self, campaign):
+        for event in self.events(campaign):
+            line = event_to_json_line(event)
+            assert "\n" not in line
+            assert json.loads(line) == event
+
+    def test_append_mode_extends_the_log(self, campaign, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = self.events(campaign)
+        save_event_stream(events[:2], path)
+        save_event_stream(events[2:], path, append=True)
+        assert load_event_stream(path) == events
+
+    def test_torn_trailing_line_is_tolerated(self, campaign, tmp_path):
+        # A killed run can leave a half-written last line; loading must
+        # recover every complete record before it.
+        path = tmp_path / "events.jsonl"
+        events = self.events(campaign)
+        save_event_stream(events, path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "campaign_sta')
+        assert load_event_stream(path) == events
+
+    def test_completed_cells_reconstruct_campaigns(self, campaign, tmp_path):
+        path = tmp_path / "events.jsonl"
+        save_event_stream(self.events(campaign), path)
+        cells = completed_cells_from_events(load_event_stream(path))
+        assert set(cells) == {("GQS", "falkordb", 0)}
+        restored = cells[("GQS", "falkordb", 0)]
+        assert campaign_to_dict(restored) == campaign_to_dict(campaign)
+
+    def test_resume_merges_identical_campaign(self, campaign, tmp_path):
+        """campaign -> JSONL checkpoint -> resume -> identical result."""
+        from repro.runtime import CampaignCell, ParallelCampaignRunner
+
+        path = tmp_path / "events.jsonl"
+        save_event_stream(self.events(campaign), path)
+        cell = CampaignCell("GQS", "falkordb", 0, budget_seconds=20.0,
+                            gate_scale=0.05)
+        results = ParallelCampaignRunner(jobs=1).run([cell], resume_path=path)
+        assert campaign_to_dict(results[cell.key]) == campaign_to_dict(campaign)
