@@ -2,17 +2,21 @@
 
 These are conventional pytest-benchmark measurements (multiple rounds) of
 the substrate pieces every experiment leans on: query synthesis, reference
-execution, pattern matching, and parsing.
+execution, pattern matching, and parsing — plus a campaign-grid pair that
+quantifies the observability overhead (the ``repro.obs`` contract is <5%
+with metrics enabled).
 """
 
 import random
 
 import pytest
+from conftest import run_once
 
 from repro.core import QuerySynthesizer
 from repro.cypher.parser import parse_query
 from repro.cypher.printer import print_query
 from repro.engine import Executor
+from repro.experiments.campaign import TESTER_NAMES, run_campaign_grid
 from repro.graph import GraphGenerator
 
 
@@ -72,3 +76,32 @@ def test_graph_generation_throughput(benchmark):
         GraphGenerator(seed=next(counter)).generate()
 
     benchmark(generate)
+
+
+# -- observability overhead (6 testers × 2 engines) -------------------------
+#
+# The two benchmarks below run the identical grid with metrics off and on;
+# comparing their times measures the full instrumentation cost (probe
+# branches, span bookkeeping, per-query counter flushes).  Results are
+# asserted identical so the comparison is apples-to-apples.
+
+GRID_ENGINES = ("neo4j", "falkordb")  # the two engines all 6 testers support
+
+
+def _metrics_grid(record_metrics):
+    return run_campaign_grid(
+        TESTER_NAMES, GRID_ENGINES, seeds=(0,), budget_seconds=4.0,
+        gate_scale=0.05, jobs=1, record_metrics=record_metrics,
+    )
+
+
+def test_campaign_grid_metrics_off(benchmark):
+    grid = run_once(benchmark, _metrics_grid, False)
+    assert len(grid) == 12
+
+
+def test_campaign_grid_metrics_on(benchmark):
+    grid = run_once(benchmark, _metrics_grid, True)
+    plain = _metrics_grid(False)
+    assert {key: result.detected_faults for key, result in grid.items()} == \
+        {key: result.detected_faults for key, result in plain.items()}

@@ -13,7 +13,6 @@ from repro.experiments import (
     collect_trigger_records,
     figure10,
     figure10_throughput,
-    render_histogram,
     render_kv,
 )
 

@@ -21,10 +21,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.cypher import ast
-from repro.cypher.printer import print_query
 from repro.engine.binding import ResultSet
 from repro.engine.errors import CypherError, DatabaseCrash, ResourceExhausted
 from repro.gdb.engines import GraphDatabase

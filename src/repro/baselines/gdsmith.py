@@ -117,7 +117,7 @@ class GDsmithTester(BaselineTester):
             if exc is not None:
                 rendered.append(("error",))
             else:
-                rows = gdb.format_result(res)
+                rows = res.to_table(gdb.dialect)
                 rendered.append(tuple(sorted(map(tuple, rows))))
         if all(item == rendered[0] for item in rendered[1:]):
             return None

@@ -4,15 +4,26 @@ Usage (also available as ``python -m repro``):
 
     repro campaign --engine falkordb --minutes 5 [--tester GQS] [--out r.json]
                    [--seeds K --jobs N] [--events LOG] [--resume LOG]
+                   [--metrics]
     repro compare  --engine falkordb --minutes 2 [--jobs N] [--resume LOG]
+                   [--metrics]
+    repro stats    events.jsonl
+    repro trace    events.jsonl
     repro table    2|3|4|5|6
     repro figure   10|11|12|13|14|15|18
     repro synthesize --seed 7 [--engine neo4j]
     repro calibrate [--n 200]
 
-Campaign grids fan out over a process pool (``--jobs``) and checkpoint every
-completed (tester, engine, seed) cell to a JSONL event log, so an
-interrupted run restarts from where it left off (``--resume``).
+``repro run`` is an alias for ``repro campaign`` (mirroring common driver
+CLIs).  Campaign grids fan out over a process pool (``--jobs``) and
+checkpoint every completed (tester, engine, seed) cell to a JSONL event log,
+so an interrupted run restarts from where it left off (``--resume``).
+
+With ``--metrics`` the observability layer (:mod:`repro.obs`) is switched on
+for the run: counters, histograms, and spans are collected and written into
+the event stream as ``metrics`` / ``span`` events, which ``repro stats`` and
+``repro trace`` render afterwards.  Metrics never perturb the RNG streams —
+results are byte-identical with or without the flag.
 """
 
 from __future__ import annotations
@@ -32,7 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    campaign = sub.add_parser("campaign", help="run one tester against one engine")
+    campaign = sub.add_parser(
+        "campaign", aliases=["run"],
+        help="run one tester against one engine",
+    )
     campaign.add_argument("--engine", default="falkordb",
                           choices=["neo4j", "memgraph", "kuzu", "falkordb"])
     campaign.add_argument("--tester", default="GQS",
@@ -53,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="append the JSONL event stream to this path")
     campaign.add_argument("--resume", default=None,
                           help="resume completed cells from this event log")
+    campaign.add_argument("--metrics", action="store_true",
+                          help="collect metrics and spans into the event log")
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
     compare.add_argument("--engine", default="falkordb",
@@ -65,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append the JSONL event stream to this path")
     compare.add_argument("--resume", default=None,
                          help="resume completed cells from this event log")
+    compare.add_argument("--metrics", action="store_true",
+                         help="collect metrics and spans into the event log")
+
+    stats = sub.add_parser(
+        "stats", help="render metrics from a recorded event log"
+    )
+    stats.add_argument("events", help="JSONL event log written with --metrics")
+
+    trace = sub.add_parser(
+        "trace", help="render the span tree from a recorded event log"
+    )
+    trace.add_argument("events", help="JSONL event log written with --metrics")
 
     table = sub.add_parser("table", help="regenerate a table from the paper")
     table.add_argument("id", type=int, choices=[2, 3, 4, 5, 6])
@@ -104,15 +132,21 @@ def _cmd_campaign(args) -> int:
     budget_seconds = args.minutes * 60.0
 
     if args.seeds <= 1 and not args.resume:
+        from contextlib import nullcontext
+
+        from repro.obs import observed
+
         events = None
         if args.events:
             from repro.runtime import EventLog
 
-            events = EventLog(args.events)
-        result = run_tool_campaign(
-            args.tester, args.engine, budget_seconds=budget_seconds,
-            seed=args.seed, gate_scale=args.gate_scale, events=events,
-        )
+            events = EventLog(args.events, record_spans=args.metrics)
+        scope = observed() if args.metrics else nullcontext()
+        with scope:
+            result = run_tool_campaign(
+                args.tester, args.engine, budget_seconds=budget_seconds,
+                seed=args.seed, gate_scale=args.gate_scale, events=events,
+            )
         if events is not None:
             events.close()
         results = {(args.tester, args.engine, args.seed): result}
@@ -124,6 +158,7 @@ def _cmd_campaign(args) -> int:
             budget_seconds=budget_seconds, gate_scale=args.gate_scale,
             derive_seeds=args.seeds > 1, jobs=args.jobs,
             events_path=args.events or args.resume, resume_path=args.resume,
+            record_metrics=args.metrics,
         )
 
     all_faults: List[str] = []
@@ -162,6 +197,7 @@ def _cmd_compare(args) -> int:
         TESTER_NAMES, (args.engine,), seeds=(args.seed,),
         budget_seconds=args.minutes * 60.0, jobs=args.jobs,
         events_path=args.events or args.resume, resume_path=args.resume,
+        record_metrics=args.metrics,
     )
     by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
     print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} {'FPs':>5s}")
@@ -175,6 +211,37 @@ def _cmd_compare(args) -> int:
             f"{tool:>9s} {result.queries_run:8d} {logic + other:5d} "
             f"{logic:6d} {result.false_positive_count:5d}"
         )
+    return 0
+
+
+def _load_events(path: str) -> Optional[list]:
+    from pathlib import Path
+
+    from repro.core.reporting import load_event_stream
+
+    if not Path(path).exists():
+        print(f"no such event log: {path}", file=sys.stderr)
+        return None
+    return load_event_stream(path)
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import render_stats
+
+    events = _load_events(args.events)
+    if events is None:
+        return 2
+    print(render_stats(events))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import render_trace
+
+    events = _load_events(args.events)
+    if events is None:
+        return 2
+    print(render_trace(events))
     return 0
 
 
@@ -282,13 +349,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "campaign": _cmd_campaign,
+        "run": _cmd_campaign,
         "compare": _cmd_compare,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "table": _cmd_table,
         "figure": _cmd_figure,
         "synthesize": _cmd_synthesize,
         "calibrate": _cmd_calibrate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

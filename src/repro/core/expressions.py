@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import random
 import string
-from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.cypher import ast

@@ -10,7 +10,7 @@ Algorithm 1 scheduler.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.operations import ConstraintGraph, OpKind, Operation

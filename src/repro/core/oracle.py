@@ -10,7 +10,6 @@ the output aliases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.engine.binding import ResultSet
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set
+from typing import FrozenSet, List, Optional
 
 from repro.core.operations import ConstraintGraph, OpKind, Operation
 

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
-from repro.core.expressions import ExpressionFactory, type_of_value
+from repro.core.expressions import ExpressionFactory
 from repro.core.ground_truth import (
     GroundTruth,
     PlanSeed,
@@ -36,12 +36,13 @@ from repro.core.ground_truth import (
     select_ground_truth,
 )
 from repro.core.operations import OpKind, Operation
-from repro.core.patterns import PatternBuilder, SynthesizedMatch
+from repro.core.patterns import PatternBuilder
 from repro.core.scheduler import ScheduledStep, schedule
 from repro.cypher import ast
 from repro.engine.binding import ResultSet
 from repro.engine.errors import CypherError
 from repro.engine.evaluator import Evaluator
+from repro.obs import DEFAULT_COUNT_EDGES, PROBE
 from repro.graph import values as V
 from repro.graph.model import Node, PropertyGraph, Relationship
 
@@ -156,6 +157,19 @@ class QuerySynthesizer:
         self, ground_truth: Optional[GroundTruth] = None
     ) -> SynthesisResult:
         """Synthesize one query; optionally reuse an existing ground truth."""
+        if not PROBE.on:
+            return self._synthesize(ground_truth)
+        with PROBE.tracer.span("synthesize"):
+            result = self._synthesize(ground_truth)
+        PROBE.metrics.counter("synth.queries").inc()
+        PROBE.metrics.histogram(
+            "synth.steps", edges=DEFAULT_COUNT_EDGES
+        ).observe(result.n_steps)
+        return result
+
+    def _synthesize(
+        self, ground_truth: Optional[GroundTruth]
+    ) -> SynthesisResult:
         rng = self.rng
         if ground_truth is None:
             ground_truth = select_ground_truth(

@@ -14,8 +14,8 @@ references) can walk the tree generically, and every node renders through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
     # expressions

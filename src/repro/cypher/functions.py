@@ -18,7 +18,7 @@ the ``...OrNull`` conversions), any ``null`` argument yields ``null``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 

@@ -22,7 +22,7 @@ cypher-for-gremlin compiler.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 from repro.cypher import ast
 from repro.cypher.functions import is_aggregate

@@ -7,7 +7,7 @@ case-insensitive (normalized to upper case); identifiers keep their spelling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List
 
 __all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
 

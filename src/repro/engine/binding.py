@@ -9,7 +9,7 @@ bag (list) of rows, where each row maps column names to Cypher values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.graph.values import equivalence_key
 
@@ -17,6 +17,17 @@ __all__ = ["Row", "BindingTable", "ResultSet"]
 
 
 Row = Dict[str, Any]
+
+
+def _format_value(value: Any, float_digits: Optional[int]) -> str:
+    """One value the way a driver prints it (see ResultSet.to_table)."""
+    if isinstance(value, float) and float_digits:
+        return f"{value:.{float_digits}g}"
+    if isinstance(value, list):
+        return "[" + ", ".join(
+            _format_value(v, float_digits) for v in value
+        ) + "]"
+    return repr(value)
 
 
 @dataclass
@@ -75,6 +86,21 @@ class ResultSet:
     def to_dicts(self) -> List[Dict[str, Any]]:
         """Rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_table(self, dialect: Any = None) -> List[List[str]]:
+        """Rows rendered as driver-formatted strings.
+
+        *dialect* supplies per-engine formatting quirks (currently
+        ``float_format_digits``, duck-typed so this module does not import
+        the dialect layer); ``None`` renders with full float precision.
+        This is the one documented surface differential comparison goes
+        through — ``GraphDatabase.format_result`` delegates here.
+        """
+        digits = getattr(dialect, "float_format_digits", None)
+        return [
+            [_format_value(value, digits) for value in row]
+            for row in self.rows
+        ]
 
     def _bag(self) -> Dict[tuple, int]:
         bag: Dict[tuple, int] = {}

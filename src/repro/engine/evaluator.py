@@ -24,6 +24,7 @@ from repro.cypher.functions import FunctionError, call_function, is_aggregate
 from repro.engine.errors import CypherRuntimeError, CypherTypeError
 from repro.graph import values as V
 from repro.graph.model import Node, PropertyGraph, Relationship
+from repro.obs import PROBE
 
 __all__ = ["Evaluator", "has_aggregate"]
 
@@ -52,11 +53,17 @@ class Evaluator:
 
     def __init__(self, graph: PropertyGraph):
         self.graph = graph
+        # Per-call profiling tally; a plain int increment because this is
+        # the hottest entry point in the repo (once per row per expression).
+        # The owning engine flushes it into the metrics registry per query.
+        self.profile_calls = 0
 
     # -- public API ---------------------------------------------------
 
     def evaluate(self, expr: ast.Expression, row: Dict[str, Any]) -> Any:
         """Evaluate *expr* in the environment *row*; returns a Cypher value."""
+        if PROBE.on:
+            self.profile_calls += 1
         handler = _DISPATCH.get(expr.__class__)
         if handler is not None:
             value = handler(self, expr, row)

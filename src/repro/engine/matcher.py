@@ -24,6 +24,7 @@ from repro.engine.errors import CypherTypeError
 from repro.engine.evaluator import Evaluator
 from repro.graph import values as V
 from repro.graph.model import Node, Path, PropertyGraph, Relationship
+from repro.obs import PROBE
 
 __all__ = ["Matcher"]
 
@@ -35,6 +36,9 @@ class Matcher:
         self.graph = graph
         self.enforce_rel_uniqueness = enforce_rel_uniqueness
         self._evaluator = Evaluator(graph)
+        # Per-call profiling tally; a plain int so the hot path stays cheap.
+        # The owning engine flushes it into the metrics registry per query.
+        self.profile_calls = 0
 
     # -- public API ---------------------------------------------------
 
@@ -48,6 +52,8 @@ class Matcher:
         Each yielded dict contains only the *new* bindings introduced by the
         patterns (the caller merges them into the row).
         """
+        if PROBE.on:
+            self.profile_calls += 1
         yield from self._match_from(patterns, 0, dict(row), set())
 
     def _match_from(

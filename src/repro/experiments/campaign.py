@@ -183,12 +183,15 @@ def run_campaign_grid(
     jobs: int = 1,
     events_path: Optional[Union[str, Path]] = None,
     resume_path: Optional[Union[str, Path]] = None,
+    record_metrics: bool = False,
 ) -> Dict[CellKey, CampaignResult]:
     """Run a full campaign grid, optionally parallel and resumable.
 
     Results are keyed ``(tester, engine, seed)`` in grid order and are
     identical for any ``jobs`` value; with ``resume_path`` cells already
-    checkpointed in that event log are merged in without re-running.
+    checkpointed in that event log are merged in without re-running.  With
+    ``record_metrics`` each worker runs its cell under a fresh observability
+    scope and the merged grid snapshot lands in the event log.
     """
     cells = campaign_grid_cells(
         testers,
@@ -199,7 +202,9 @@ def run_campaign_grid(
         max_queries=max_queries,
         derive_seeds=derive_seeds,
     )
-    runner = ParallelCampaignRunner(jobs=jobs, events_path=events_path)
+    runner = ParallelCampaignRunner(
+        jobs=jobs, events_path=events_path, record_metrics=record_metrics
+    )
     return runner.run(cells, resume_path=resume_path)
 
 

@@ -19,15 +19,13 @@ from repro.experiments.campaign import (
     DAY_EQUIVALENT_SECONDS,
     FULL_CAMPAIGN_GATE_SCALE,
     FULL_CAMPAIGN_MAX_QUERIES,
-    TESTER_NAMES,
     make_tester,
     run_campaign_grid,
     split_fault_counts,
     tester_supports,
 )
 from repro.core import QuerySynthesizer
-from repro.core.runner import synthesizer_config_for
-from repro.gdb import DIALECTS, create_engine, faults_for, gqs_scope_faults
+from repro.gdb import DIALECTS, create_engine, faults_for
 from repro.graph.generator import GraphGenerator
 from repro.runtime import CampaignCell, ParallelCampaignRunner
 

@@ -29,9 +29,9 @@ sit near 1/8000 and surface only in longer campaigns.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from repro.gdb.faults import Fault, FaultEffect, QueryFeatures
+from repro.gdb.faults import Fault, FaultEffect
 
 __all__ = ["build_catalog", "faults_for", "all_faults", "gqs_scope_faults"]
 

@@ -21,7 +21,7 @@ model used by the simulated campaign clock:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
 __all__ = ["Dialect", "NEO4J", "MEMGRAPH", "KUZU", "FALKORDB", "DIALECTS"]

@@ -15,7 +15,8 @@ root-cause deduplication the paper performs (§7, Limitations).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import KW_ONLY, dataclass
+from time import perf_counter
 from typing import Any, List, Optional, Union
 
 from repro.cypher import ast
@@ -23,7 +24,6 @@ from repro.cypher.parser import parse_query
 from repro.cypher.printer import print_query
 from repro.engine.binding import ResultSet
 from repro.engine.errors import (
-    CypherError,
     CypherRuntimeError,
     CypherTypeError,
     DatabaseCrash,
@@ -34,9 +34,11 @@ from repro.gdb.dialects import DIALECTS, Dialect
 from repro.gdb.faults import Fault, extract_features
 from repro.graph.model import PropertyGraph
 from repro.graph.schema import GraphSchema
+from repro.obs import PROBE
 
 __all__ = [
     "GraphDatabase",
+    "Session",
     "Neo4jSim",
     "MemgraphSim",
     "KuzuSim",
@@ -52,6 +54,59 @@ AnyQuery = Union[str, ast.Query, ast.UnionQuery]
 ALL_ENGINE_NAMES = ("neo4j", "memgraph", "kuzu", "falkordb")
 
 
+class Session:
+    """A driver-style session bound to one engine and one loaded graph.
+
+    Mirrors how the real GDB Python drivers are used::
+
+        with db.session(graph, schema) as sess:
+            result = sess.run("MATCH (n) RETURN n")
+
+    ``run`` delegates to :meth:`GraphDatabase.execute`, so faults, crash
+    state, and white-box accounting (``last_fault``) behave exactly as they
+    do for direct execution.  Closing the session (or leaving the ``with``
+    block) ends it; a closed session refuses further queries, like a real
+    driver's.  The engine itself stays loaded — sessions scope *usage*, not
+    engine lifetime, matching the paper's long-session semantics (§5.4.4).
+    """
+
+    def __init__(self, engine: "GraphDatabase"):
+        self._engine = engine
+        self._closed = False
+
+    @property
+    def engine(self) -> "GraphDatabase":
+        return self._engine
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def last_fault(self) -> Optional[Fault]:
+        """White-box accounting hook (see ``last_fired_fault``)."""
+        return self._engine.last_fired_fault
+
+    def run(self, query: AnyQuery) -> ResultSet:
+        """Execute *query* in this session; raises like ``execute``."""
+        if self._closed:
+            raise CypherRuntimeError("session is closed")
+        return self._engine.execute(query)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Session({self._engine.name}, {state})"
+
+
 class GraphDatabase:
     """Base class for the simulated engines."""
 
@@ -59,6 +114,7 @@ class GraphDatabase:
         self,
         dialect: Dialect,
         faults: Optional[List[Fault]] = None,
+        *,
         faults_enabled: bool = True,
         gate_scale: float = 1.0,
     ):
@@ -89,6 +145,7 @@ class GraphDatabase:
         self,
         graph: PropertyGraph,
         schema: Optional[GraphSchema] = None,
+        *,
         restart: bool = True,
     ) -> None:
         """Load (a copy of) *graph*; optionally restart the instance.
@@ -114,10 +171,61 @@ class GraphDatabase:
         if restart:
             self.restart()
 
+    def session(
+        self,
+        graph: Optional[PropertyGraph] = None,
+        schema: Optional[GraphSchema] = None,
+        *,
+        restart: bool = True,
+    ) -> Session:
+        """Open a driver-style :class:`Session`, optionally loading *graph*.
+
+        With *graph* given, it is loaded first (honouring *restart*, the
+        §5.4.4 session-accumulation switch); without it, the session runs
+        against whatever is already loaded.  ``load_graph``/``execute``
+        remain available as thin, session-free access for existing testers.
+        """
+        if graph is not None:
+            self.load_graph(graph, schema, restart=restart)
+        return Session(self)
+
     # -- query execution ----------------------------------------------------
 
     def execute(self, query: AnyQuery) -> ResultSet:
         """Execute *query*; raises CypherError subclasses on failure."""
+        if not PROBE.on:
+            return self._execute(query)
+        start = perf_counter()
+        try:
+            return self._execute(query)
+        finally:
+            metrics = PROBE.metrics
+            metrics.counter("engine.queries", engine=self.name).inc()
+            if self.last_fired_fault is not None:
+                metrics.counter(
+                    "engine.fault_queries", engine=self.name
+                ).inc()
+            metrics.histogram(
+                "stage.seconds", timing=True, stage="execute"
+            ).observe(perf_counter() - start)
+            executor = self._executor
+            if executor is not None:
+                # The matcher/evaluator hot paths count their own calls as
+                # plain integer increments (cheap enough for per-row code);
+                # the per-query flush turns them into registry counters.
+                matcher, evaluator = executor.matcher, executor.evaluator
+                if matcher.profile_calls:
+                    metrics.counter("matcher.calls").inc(
+                        matcher.profile_calls
+                    )
+                    matcher.profile_calls = 0
+                if evaluator.profile_calls:
+                    metrics.counter("evaluator.calls").inc(
+                        evaluator.profile_calls
+                    )
+                    evaluator.profile_calls = 0
+
+    def _execute(self, query: AnyQuery) -> ResultSet:
         if self._executor is None or self.graph is None:
             raise CypherRuntimeError("no graph loaded")
         if self.crashed:
@@ -187,21 +295,12 @@ class GraphDatabase:
     def format_result(self, result: ResultSet) -> List[List[str]]:
         """Render a result the way this engine's driver prints it.
 
-        Differential testers compare these strings; the per-engine float
-        formatting differences are one of the organic sources of GDsmith's
-        false positives (§5.4.3).
+        Thin delegate for :meth:`repro.engine.binding.ResultSet.to_table`,
+        which owns the rendering; differential testers compare these
+        strings, and the per-engine float formatting differences are one of
+        the organic sources of GDsmith's false positives (§5.4.3).
         """
-        rendered: List[List[str]] = []
-        for row in result.rows:
-            rendered.append([self._format_value(value) for value in row])
-        return rendered
-
-    def _format_value(self, value: Any) -> str:
-        if isinstance(value, float) and self.dialect.float_format_digits:
-            return f"{value:.{self.dialect.float_format_digits}g}"
-        if isinstance(value, list):
-            return "[" + ", ".join(self._format_value(v) for v in value) + "]"
-        return repr(value)
+        return result.to_table(self.dialect)
 
     # -- cost model -------------------------------------------------------
 
@@ -229,7 +328,7 @@ class GraphDatabase:
 class Neo4jSim(GraphDatabase):
     """Simulated Neo4j: on-disk, strict types, full procedure support."""
 
-    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
         super().__init__(DIALECTS["neo4j"], faults_enabled=faults_enabled,
                          gate_scale=gate_scale)
 
@@ -237,7 +336,7 @@ class Neo4jSim(GraphDatabase):
 class MemgraphSim(GraphDatabase):
     """Simulated Memgraph: in-memory, lenient runtime types, no db.labels."""
 
-    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
         super().__init__(DIALECTS["memgraph"], faults_enabled=faults_enabled,
                          gate_scale=gate_scale)
 
@@ -245,7 +344,7 @@ class MemgraphSim(GraphDatabase):
 class KuzuSim(GraphDatabase):
     """Simulated Kùzu: schema-first, no relationship-uniqueness guarantee."""
 
-    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
         super().__init__(DIALECTS["kuzu"], faults_enabled=faults_enabled,
                          gate_scale=gate_scale)
 
@@ -253,7 +352,7 @@ class KuzuSim(GraphDatabase):
 class FalkorDBSim(GraphDatabase):
     """Simulated FalkorDB: no relationship uniqueness, rounded float output."""
 
-    def __init__(self, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
         super().__init__(DIALECTS["falkordb"], faults_enabled=faults_enabled,
                          gate_scale=gate_scale)
 
@@ -276,9 +375,14 @@ _ENGINE_CLASSES = {
 
 
 def create_engine(
-    name: str, faults_enabled: bool = True, gate_scale: float = 1.0
+    name: str, *, faults_enabled: bool = True, gate_scale: float = 1.0
 ) -> GraphDatabase:
-    """Factory for the four simulated engines."""
+    """Factory for the four simulated engines.
+
+    The tuning flags are keyword-only — ``create_engine("neo4j",
+    gate_scale=0.1)`` reads unambiguously at call sites, and positional
+    booleans cannot silently swap.
+    """
     try:
         cls = _ENGINE_CLASSES[name]
     except KeyError:
@@ -292,10 +396,12 @@ class EngineSpec:
 
     Engine instances hold a loaded graph and a live executor, so they never
     cross process boundaries; the parallel campaign runner ships this spec
-    instead and each worker calls :meth:`create` locally.
+    instead and each worker calls :meth:`create` locally.  The tuning
+    fields are keyword-only, matching :func:`create_engine`.
     """
 
     name: str
+    _: KW_ONLY
     faults_enabled: bool = True
     gate_scale: float = 1.0
 

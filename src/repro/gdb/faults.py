@@ -23,8 +23,8 @@ answer, which is what makes the paper's bug reports reproducible.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Callable, List, Union
 
 from repro.cypher import ast
 from repro.cypher.analysis import QueryMetrics, analyze, clause_types_in, functions_in

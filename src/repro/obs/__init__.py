@@ -1,0 +1,71 @@
+"""Observability for the campaign runtime: metrics, span tracing, probes.
+
+The paper's evaluation is, at heart, an accounting exercise — where does
+campaign time go, which stage finds bugs, how many queries does each tester
+push through each engine (§5.4, Tables 3–6).  This package gives the
+runtime that accounting as a first-class subsystem:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with **fixed
+  bucket edges** (so per-worker merges are deterministic) and a snapshot
+  algebra (:func:`merge_snapshots`, :func:`deterministic_view`);
+* :mod:`repro.obs.trace` — ``with tracer.span("synthesize")`` spans over
+  both the real (``perf_counter``) and simulated campaign clocks;
+* :mod:`repro.obs.probe` — the process-wide :data:`PROBE` switch the hot
+  paths guard on; **no-op by default**, scoped enable via
+  :func:`observed`;
+* :mod:`repro.obs.render` — ``repro stats`` / ``repro trace`` renderers
+  that turn any recorded event log into a profile.
+
+The contract with the runtime: instrumentation never draws randomness and
+never changes control flow, so campaign results are byte-identical with
+observability on or off; the deterministic snapshot sections are identical
+for any worker count.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_EDGES,
+    DEFAULT_TIME_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    deterministic_view,
+    merge_snapshots,
+    metric_key,
+    split_metric_key,
+)
+from repro.obs.probe import PROBE, Probe, disable, enable, observed
+from repro.obs.render import (
+    merged_snapshot_from_events,
+    render_stats,
+    render_trace,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "DEFAULT_COUNT_EDGES",
+    "DEFAULT_TIME_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullTracer",
+    "PROBE",
+    "Probe",
+    "Tracer",
+    "deterministic_view",
+    "disable",
+    "enable",
+    "merge_snapshots",
+    "merged_snapshot_from_events",
+    "metric_key",
+    "observed",
+    "render_stats",
+    "render_trace",
+    "split_metric_key",
+]

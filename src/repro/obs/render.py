@@ -1,0 +1,247 @@
+"""Turn a recorded campaign event log into a profile.
+
+``repro stats`` and ``repro trace`` both operate on the JSONL event stream
+that every campaign/grid run can append to (``--events``): ``stats`` merges
+the ``metrics`` snapshots and renders per-stage time histograms plus the
+per-tester×engine query accounting; ``trace`` rebuilds the span tree from
+``span`` events and renders it aggregated by stage name.
+
+Both work on *any* past run — profiling is a property of the log, not of
+the process that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import merge_snapshots, split_metric_key
+
+__all__ = [
+    "metrics_snapshots_in",
+    "merged_snapshot_from_events",
+    "render_stats",
+    "render_trace",
+]
+
+Event = Dict[str, Any]
+
+
+def _format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}µs"
+
+
+def metrics_snapshots_in(events: Iterable[Event]) -> List[Event]:
+    """The ``metrics`` events of a stream, campaign-scoped ones preferred.
+
+    A grid log carries one per-campaign snapshot per cell plus a final
+    merged grid snapshot; merging the per-campaign ones (and ignoring the
+    grid rollup) avoids double counting, while a log holding only a rollup
+    still renders.
+    """
+    all_metrics = [e for e in events if e.get("event") == "metrics"]
+    campaign_scoped = [e for e in all_metrics if e.get("scope") == "campaign"]
+    return campaign_scoped or all_metrics
+
+
+def merged_snapshot_from_events(events: Iterable[Event]) -> Dict[str, Any]:
+    """Merge every relevant metrics snapshot in an event stream."""
+    return merge_snapshots(
+        e["snapshot"] for e in metrics_snapshots_in(events)
+    )
+
+
+# ---------------------------------------------------------------------------
+# repro stats
+# ---------------------------------------------------------------------------
+
+
+def _render_histogram(title: str, item: Dict[str, Any], unit: str) -> List[str]:
+    lines = [
+        f"{title}  (n={item['count']}, total {_format_seconds(item['sum'])}, "
+        f"min {_format_seconds(item['min'])}, max {_format_seconds(item['max'])})"
+        if unit == "s"
+        else f"{title}  (n={item['count']}, total {item['sum']:g}, "
+             f"min {item['min']:g}, max {item['max']:g})"
+    ]
+    peak = max(item["counts"]) or 1
+    bounds = [*item["edges"], None]
+    for edge, count in zip(bounds, item["counts"]):
+        if count == 0:
+            continue
+        label = (
+            f"  ≤{_format_seconds(edge)}" if unit == "s" and edge is not None
+            else f"  ≤{edge:g}" if edge is not None
+            else "  >last"
+        )
+        bar = "█" * max(1, round(24 * count / peak))
+        lines.append(f"{label:>12s} {count:8d} {bar}")
+    return lines
+
+
+def _counter_table(
+    counters: Dict[str, Any], name: str, row_label: str, col_label: str
+) -> List[str]:
+    """Render ``name|<col_label>=..,<row_label>=..`` counters as a matrix."""
+    cells: Dict[Tuple[str, str], int] = {}
+    for key, value in counters.items():
+        base, labels = split_metric_key(key)
+        if base != name or row_label not in labels or col_label not in labels:
+            continue
+        cells[(labels[row_label], labels[col_label])] = value
+    if not cells:
+        return []
+    rows = sorted({r for r, _ in cells})
+    cols = sorted({c for _, c in cells})
+    width = max(len(c) for c in cols) + 2
+    row_width = max(len(r) for r in rows) + 2
+    lines = [" " * row_width + "".join(f"{c:>{width}s}" for c in cols)]
+    for r in rows:
+        line = f"{r:<{row_width}s}"
+        for c in cols:
+            value = cells.get((r, c))
+            line += f"{value if value is not None else '-':>{width}}"
+        lines.append(line)
+    return lines
+
+
+def render_stats(events: Iterable[Event]) -> str:
+    """Per-stage time/sim histograms + query accounting for an event log."""
+    snapshot = merged_snapshot_from_events(events)
+    lines: List[str] = []
+
+    timings = snapshot.get("timings", {})
+    stage_keys = [k for k in timings if split_metric_key(k)[0] == "stage.seconds"]
+    if stage_keys:
+        lines.append("== per-stage wall time ==")
+        for key in sorted(stage_keys):
+            _base, labels = split_metric_key(key)
+            lines.extend(
+                _render_histogram(
+                    f"stage {labels.get('stage', '?')}", timings[key], "s"
+                )
+            )
+        lines.append("")
+
+    histograms = snapshot.get("histograms", {})
+    sim_keys = [k for k in histograms
+                if split_metric_key(k)[0] == "stage.sim_seconds"]
+    if sim_keys:
+        lines.append("== per-stage simulated time ==")
+        for key in sorted(sim_keys):
+            _base, labels = split_metric_key(key)
+            lines.extend(
+                _render_histogram(
+                    f"stage {labels.get('stage', '?')} (sim)",
+                    histograms[key], "s",
+                )
+            )
+        lines.append("")
+
+    counters = snapshot.get("counters", {})
+    table = _counter_table(counters, "campaign.queries", "tester", "engine")
+    if table:
+        lines.append("== queries per tester × engine ==")
+        lines.extend(table)
+        lines.append("")
+    faults = _counter_table(counters, "campaign.faults", "tester", "engine")
+    if faults:
+        lines.append("== distinct faults per tester × engine ==")
+        lines.extend(faults)
+        lines.append("")
+
+    plain = {
+        key: value
+        for key, value in counters.items()
+        if split_metric_key(key)[0] not in ("campaign.queries",
+                                            "campaign.faults")
+    }
+    if plain:
+        lines.append("== counters ==")
+        for key in sorted(plain):
+            lines.append(f"  {key:<44s} {plain[key]}")
+        lines.append("")
+
+    if not lines:
+        return "no metrics events in log (re-run with --metrics)"
+    return "\n".join(lines).rstrip()
+
+
+# ---------------------------------------------------------------------------
+# repro trace
+# ---------------------------------------------------------------------------
+
+
+class _Agg:
+    __slots__ = ("count", "perf", "sim", "children")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.perf = 0.0
+        self.sim = 0.0
+        self.children: Dict[str, _Agg] = {}
+
+
+def _aggregate_spans(spans: List[Event]) -> Dict[str, _Agg]:
+    by_id = {span["id"]: span for span in spans}
+    children: Dict[Optional[int], List[Event]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(span)
+
+    roots: Dict[str, _Agg] = {}
+
+    def visit(span: Event, bucket: Dict[str, _Agg]) -> None:
+        agg = bucket.setdefault(span["name"], _Agg())
+        agg.count += 1
+        agg.perf += span.get("perf", 0.0)
+        if span.get("sim1") is not None and span.get("sim0") is not None:
+            agg.sim += span["sim1"] - span["sim0"]
+        for child in children.get(span["id"], []):
+            visit(child, agg.children)
+
+    for span in sorted(children.get(None, []), key=lambda s: s["id"]):
+        visit(span, roots)
+    return roots
+
+
+def render_trace(events: Iterable[Event]) -> str:
+    """Render the span tree of an event log, aggregated by stage name.
+
+    Spans are grouped per grid cell (``cell`` attribute) and, within a
+    cell, merged by name at each tree depth — a campaign's thousands of
+    ``judge`` spans render as one line with count and totals.
+    """
+    spans = [e for e in events if e.get("event") == "span"]
+    if not spans:
+        return "no span events in log (re-run with --metrics)"
+
+    by_cell: Dict[str, List[Event]] = {}
+    for span in spans:
+        by_cell.setdefault(span.get("cell", "?"), []).append(span)
+
+    lines: List[str] = []
+    for cell in sorted(by_cell):
+        lines.append(f"[{cell}]")
+
+        def emit(bucket: Dict[str, _Agg], depth: int) -> None:
+            for name, agg in bucket.items():
+                label = "  " * depth + name
+                line = (
+                    f"  {label:<28s} {agg.count:6d}×  "
+                    f"perf {_format_seconds(agg.perf):>9s}"
+                )
+                if agg.sim:
+                    line += f"  sim {agg.sim:9.2f}s"
+                lines.append(line)
+                emit(agg.children, depth + 1)
+
+        emit(_aggregate_spans(by_cell[cell]), 1)
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Lightweight span tracing for campaign runs.
+
+A span covers one stage of the campaign pipeline — ``campaign`` → ``graph``
+→ ``propose``/``judge``, with ``synthesize`` nested inside ``propose`` —
+and records two clocks at once:
+
+* the **real** clock (``time.perf_counter``), which is what profiling
+  cares about, and
+* the **simulated** campaign clock (the engines' cost model, the clock the
+  paper's 24-hour budgets run on), sampled through a pluggable
+  ``sim_clock`` callable so spans can attribute simulated time to stages.
+
+Spans are plain dicts (``id``/``parent``/``name``/``perf``/``sim``/attrs),
+cheap to collect and trivially serializable into the campaign's JSONL event
+stream as ``span`` events.  :class:`NullTracer` is the default: its
+``span()`` returns a shared re-entrant no-op context manager, so traced
+code needs no conditionals.
+
+When constructed with a :class:`~repro.obs.metrics.MetricsRegistry`, the
+tracer also feeds every finished span's real duration into the
+``stage.seconds`` timing histogram labelled by span name — which is what
+``repro stats`` renders as the per-stage time histograms.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
+
+Span = Dict[str, Any]
+
+
+class _SpanHandle:
+    """Context manager for one live span."""
+
+    __slots__ = ("_tracer", "_span", "_start")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._start = perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._finish(self._span, perf_counter() - self._start)
+
+
+class _NullSpan:
+    """Shared no-op span context manager (re-entrant, stateless)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Dict[str, Any]:
+        return {}
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+class Tracer:
+    """Collects a tree of timed spans over the real and simulated clocks."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sim_clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry
+        self.sim_clock = sim_clock
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_id = 0
+
+    # -- span lifecycle ---------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("synthesize"): ...``."""
+        span_id = self._next_id
+        self._next_id += 1
+        span: Span = {
+            "id": span_id,
+            "parent": self._stack[-1] if self._stack else None,
+            "name": name,
+        }
+        if attrs:
+            span.update(attrs)
+        if self.sim_clock is not None:
+            span["sim0"] = self.sim_clock()
+        self._stack.append(span_id)
+        return _SpanHandle(self, span)
+
+    def _finish(self, span: Span, perf_seconds: float) -> None:
+        self._stack.pop()
+        span["perf"] = perf_seconds
+        if self.sim_clock is not None:
+            span["sim1"] = self.sim_clock()
+        self.spans.append(span)
+        if self.registry is not None:
+            self.registry.histogram(
+                "stage.seconds", timing=True, stage=span["name"]
+            ).observe(perf_seconds)
+
+    # -- access -----------------------------------------------------------
+
+    def drain(self) -> List[Span]:
+        """Return and clear the finished spans (e.g. to emit as events)."""
+        spans, self.spans = self.spans, []
+        return spans
+
+
+class NullTracer(Tracer):
+    """The default tracer: collects nothing, costs (almost) nothing."""
+
+    _SPAN = _NullSpan()
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return self._SPAN
+
+    def drain(self) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

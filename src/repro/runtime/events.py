@@ -10,7 +10,11 @@ purposes:
   appends a ``cell_complete`` event (carrying the full serialized
   :class:`~repro.runtime.results.CampaignResult`) after every finished grid
   cell, so an interrupted grid resumes from the last completed cell via
-  :func:`repro.core.reporting.completed_cells_from_events`.
+  :func:`repro.core.reporting.completed_cells_from_events`;
+* **profiling** — with observability enabled (:mod:`repro.obs`), campaigns
+  additionally append ``span`` events (the trace tree) and ``metrics``
+  events (instrument snapshots); ``repro stats`` / ``repro trace`` turn any
+  such log into a profile, and resume tolerates both kinds.
 
 The JSONL (de)serialization itself lives in :mod:`repro.core.reporting`
 alongside the campaign persistence format; this module only owns the
@@ -35,17 +39,22 @@ class EventLog:
     per event, flushed immediately — so a killed run leaves a usable log.
 
     ``query`` events are high-volume (one per test query) and are dropped
-    unless ``record_queries`` is set; everything else is always kept.
+    unless ``record_queries`` is set; likewise ``span`` events (several per
+    test query, produced by the :mod:`repro.obs` tracer) require
+    ``record_spans``.  Everything else — including the per-campaign
+    ``metrics`` snapshots — is always kept.
     """
 
     def __init__(
         self,
         path: Optional[Union[str, Path]] = None,
         record_queries: bool = False,
+        record_spans: bool = False,
         append: bool = True,
     ):
         self.path = Path(path) if path is not None else None
         self.record_queries = record_queries
+        self.record_spans = record_spans
         self._append = append
         self._events: List[Event] = []
         self._handle: Optional[TextIO] = None
@@ -55,6 +64,8 @@ class EventLog:
     def emit(self, kind: str, /, **payload: Any) -> Optional[Event]:
         """Record one event; returns it (or None when filtered out)."""
         if kind == "query" and not self.record_queries:
+            return None
+        if kind == "span" and not self.record_spans:
             return None
         event: Event = {"event": kind, **payload}
         self._events.append(event)

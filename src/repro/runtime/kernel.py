@@ -11,6 +11,15 @@ across ``GQSTester.run``, ``BaselineTester.run`` and ``GDsmithTester.run``.
 Campaigns advance a *simulated* wall clock driven by the engines' cost
 model, which is how the 24-hour experiments (§5.4.4) are reproduced without
 24 real hours.
+
+Observability (:mod:`repro.obs`): when the process-wide probe is on, the
+kernel traces each stage as a span — ``campaign`` → ``graph`` →
+``propose``/``judge`` — over both the real and the simulated clock, counts
+queries/faults/graphs per (tester, engine), and attributes per-judgement
+simulated time to a fixed-bucket histogram.  At campaign end the finished
+spans and a metrics snapshot are emitted into the event stream (``span`` /
+``metrics`` events).  None of this touches the RNG stream: results are
+byte-identical with observability on or off.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import random
 from typing import Optional
 
 from repro.graph.generator import GraphGenerator
+from repro.obs import PROBE
 from repro.runtime.events import EventLog
 from repro.runtime.protocol import Judgement, TesterProtocol
 from repro.runtime.results import CampaignResult
@@ -57,40 +67,77 @@ class CampaignKernel:
             restart_per_graph=tester.session.restart_per_graph,
         )
 
-        first_load = True
-        while self._within_budget(result, budget_seconds, max_queries):
-            # A fresh random graph per outer iteration; the restart decision
-            # is the tester's declared session policy (§5.4.4).
-            generator = GraphGenerator(
-                seed=rng.randrange(2**32), config=tester.generator_config
-            )
-            schema, graph = generator.generate_with_schema()
-            restart = tester.session.restart_per_graph or first_load
-            tester.load_graph(engine, graph, schema, restart)
-            first_load = False
-            self.events.emit(
-                "graph",
-                nodes=graph.node_count,
-                relationships=graph.relationship_count,
-                restart=restart,
-                sim_time=result.sim_seconds,
-            )
+        observing = PROBE.on
+        tracer = PROBE.tracer
+        metrics = PROBE.metrics
+        if observing:
+            # Spans sample both clocks; bind the simulated one to this
+            # campaign's accumulator.
+            tracer.sim_clock = lambda: result.sim_seconds
+        labels = {"tester": tester.name, "engine": engine.name}
 
-            proposals = tester.proposals(engine, graph, schema, rng)
+        with tracer.span("campaign"):
+            first_load = True
             while self._within_budget(result, budget_seconds, max_queries):
-                proposal = next(proposals, _DONE)
-                if proposal is _DONE:
-                    break
-                judgement = tester.judge(engine, proposal, graph, rng, result)
-                result.queries_run += 1
-                self.events.emit(
-                    "query", n=result.queries_run, sim_time=result.sim_seconds
-                )
-                self._record(result, judgement, seen_faults)
-                if tester.recover(engine, graph, schema):
-                    self.events.emit(
-                        "crash", engine=engine.name, sim_time=result.sim_seconds
+                with tracer.span("graph"):
+                    # A fresh random graph per outer iteration; the restart
+                    # decision is the tester's declared session policy
+                    # (§5.4.4).
+                    generator = GraphGenerator(
+                        seed=rng.randrange(2**32),
+                        config=tester.generator_config,
                     )
+                    schema, graph = generator.generate_with_schema()
+                    restart = tester.session.restart_per_graph or first_load
+                    tester.load_graph(engine, graph, schema, restart)
+                    first_load = False
+                    self.events.emit(
+                        "graph",
+                        nodes=graph.node_count,
+                        relationships=graph.relationship_count,
+                        restart=restart,
+                        sim_time=result.sim_seconds,
+                    )
+                    if observing:
+                        metrics.counter("campaign.graphs", **labels).inc()
+
+                    proposals = tester.proposals(engine, graph, schema, rng)
+                    while self._within_budget(
+                        result, budget_seconds, max_queries
+                    ):
+                        with tracer.span("propose"):
+                            proposal = next(proposals, _DONE)
+                        if proposal is _DONE:
+                            break
+                        sim_before = result.sim_seconds
+                        with tracer.span("judge"):
+                            judgement = tester.judge(
+                                engine, proposal, graph, rng, result
+                            )
+                        result.queries_run += 1
+                        self.events.emit(
+                            "query",
+                            n=result.queries_run,
+                            sim_time=result.sim_seconds,
+                        )
+                        if observing:
+                            metrics.counter(
+                                "campaign.queries", **labels
+                            ).inc()
+                            metrics.histogram(
+                                "stage.sim_seconds", stage="judge"
+                            ).observe(result.sim_seconds - sim_before)
+                        self._record(result, judgement, seen_faults)
+                        if tester.recover(engine, graph, schema):
+                            self.events.emit(
+                                "crash",
+                                engine=engine.name,
+                                sim_time=result.sim_seconds,
+                            )
+                            if observing:
+                                metrics.counter(
+                                    "campaign.crashes", **labels
+                                ).inc()
 
         self.events.emit(
             "campaign_end",
@@ -101,6 +148,24 @@ class CampaignKernel:
             detected_faults=result.detected_faults,
             false_positives=result.false_positive_count,
         )
+        if observing:
+            metrics.counter("campaign.faults", **labels).inc(
+                len(result.detected_faults)
+            )
+            metrics.gauge("campaign.sim_seconds", **labels).set(
+                result.sim_seconds
+            )
+            cell = f"{tester.name}/{engine.name}/{seed}"
+            for span in tracer.drain():
+                self.events.emit("span", cell=cell, **span)
+            self.events.emit(
+                "metrics",
+                scope="campaign",
+                tester=tester.name,
+                engine=engine.name,
+                seed=seed,
+                snapshot=metrics.snapshot(),
+            )
         return result
 
     # -- internals --------------------------------------------------------

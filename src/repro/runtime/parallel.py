@@ -76,9 +76,15 @@ def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
     Imports are local so the module stays import-cycle-free (the runtime
     layer must not statically depend on the experiment harness) and so
     ``spawn``-based pools re-import only what they need.
+
+    With ``record_metrics`` the cell runs under a *fresh* per-cell
+    observability scope (:func:`repro.obs.observed`), so each cell's
+    ``metrics`` event snapshot covers exactly that cell no matter how the
+    pool reuses worker processes — the invariant the deterministic barrier
+    merge depends on.
     """
     (tester_name, engine_name, seed, budget_seconds, gate_scale,
-     max_queries, record_queries) = spec
+     max_queries, record_queries, record_metrics) = spec
     from repro.core.reporting import campaign_to_dict
     from repro.experiments.campaign import make_tester
     from repro.gdb.engines import EngineSpec
@@ -86,14 +92,25 @@ def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
 
     engine = EngineSpec(engine_name, gate_scale=gate_scale).create()
     tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
-    log = EventLog(record_queries=record_queries)
-    result = CampaignKernel(events=log).run(
-        tester,
-        engine,
-        budget_seconds,
-        seed=seed,
-        max_queries=max_queries,
-    )
+    log = EventLog(record_queries=record_queries,
+                   record_spans=record_metrics)
+
+    def run() -> "CampaignResult":
+        return CampaignKernel(events=log).run(
+            tester,
+            engine,
+            budget_seconds,
+            seed=seed,
+            max_queries=max_queries,
+        )
+
+    if record_metrics:
+        from repro.obs import observed
+
+        with observed():
+            result = run()
+    else:
+        result = run()
     return campaign_to_dict(result), log.events
 
 
@@ -109,10 +126,12 @@ class ParallelCampaignRunner:
         jobs: int = 1,
         events_path: Optional[Union[str, Path]] = None,
         record_queries: bool = False,
+        record_metrics: bool = False,
     ):
         self.jobs = max(1, int(jobs))
         self.events_path = Path(events_path) if events_path else None
         self.record_queries = record_queries
+        self.record_metrics = record_metrics
 
     def run(
         self,
@@ -129,18 +148,31 @@ class ParallelCampaignRunner:
             raise ValueError("duplicate (tester, engine, seed) cells in grid")
 
         done: Dict[CellKey, CampaignResult] = {}
+        resumed_snapshots: List[Dict] = []
         if resume_path is not None and Path(resume_path).exists():
             from repro.core.reporting import (
                 completed_cells_from_events,
                 load_event_stream,
             )
 
-            recorded = completed_cells_from_events(load_event_stream(resume_path))
-            done = {key: recorded[key] for key in recorded
-                    if key in {cell.key for cell in cells}}
+            wanted = {cell.key for cell in cells}
+            resume_events = load_event_stream(resume_path)
+            recorded = completed_cells_from_events(resume_events)
+            done = {key: recorded[key] for key in recorded if key in wanted}
+            # Metrics snapshots of already-checkpointed cells still count
+            # toward the merged grid snapshot.
+            resumed_snapshots = [
+                event["snapshot"]
+                for event in resume_events
+                if event.get("event") == "metrics"
+                and event.get("scope") == "campaign"
+                and (event.get("tester"), event.get("engine"),
+                     event.get("seed")) in done
+            ]
 
         pending = [cell for cell in cells if cell.key not in done]
-        with EventLog(self.events_path) as log:
+        with EventLog(self.events_path,
+                      record_spans=self.record_metrics) as log:
             log.emit(
                 "grid_start",
                 cells=len(cells),
@@ -148,10 +180,16 @@ class ParallelCampaignRunner:
                 pending=len(pending),
                 jobs=self.jobs,
             )
+            snapshots = list(resumed_snapshots)
             for cell, (campaign, events) in zip(
                 pending, self._execute(pending)
             ):
                 log.extend(events)
+                snapshots.extend(
+                    event["snapshot"] for event in events
+                    if event.get("event") == "metrics"
+                    and event.get("scope") == "campaign"
+                )
                 from repro.core.reporting import campaign_from_dict
 
                 done[cell.key] = campaign_from_dict(campaign)
@@ -162,6 +200,18 @@ class ParallelCampaignRunner:
                     seed=cell.seed,
                     campaign=campaign,
                 )
+            if self.record_metrics and snapshots:
+                # Barrier merge: per-worker snapshots fold element-wise
+                # (fixed bucket edges), so the result is independent of
+                # worker count and completion order.
+                from repro.obs import merge_snapshots
+
+                log.emit(
+                    "metrics",
+                    scope="grid",
+                    cells=len(snapshots),
+                    snapshot=merge_snapshots(snapshots),
+                )
             log.emit("grid_end", cells=len(cells))
         return {cell.key: done[cell.key] for cell in cells}
 
@@ -170,7 +220,8 @@ class ParallelCampaignRunner:
     def _specs(self, cells: Sequence[CampaignCell]) -> List[Tuple]:
         return [
             (cell.tester, cell.engine, cell.seed, cell.budget_seconds,
-             cell.gate_scale, cell.max_queries, self.record_queries)
+             cell.gate_scale, cell.max_queries, self.record_queries,
+             self.record_metrics)
             for cell in cells
         ]
 

@@ -1,6 +1,5 @@
 """Tests for the query complexity analyzer (§5.4.2 metrics)."""
 
-import pytest
 
 from repro.cypher.analysis import analyze, clause_histogram, clause_types_in
 from repro.cypher.analysis import functions_in

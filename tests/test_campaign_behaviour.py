@@ -1,6 +1,5 @@
 """Behavioural tests of campaign dynamics the paper's §5.4.4 relies on."""
 
-import pytest
 
 from repro.baselines import GDBMeterTester
 from repro.core.runner import GQSTester

@@ -1,6 +1,5 @@
 """Fast CLI coverage for the figure/compare paths (tiny budgets)."""
 
-import pytest
 
 from repro.cli import main
 

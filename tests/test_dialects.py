@@ -1,6 +1,5 @@
 """Tests for the dialect descriptions and the GQS dialect handling (§4)."""
 
-import math
 import random
 
 import pytest

@@ -9,7 +9,6 @@ of "correct" is itself broken.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,7 @@ import pytest
 from repro.cypher.parser import parse_expression
 from repro.engine.errors import CypherRuntimeError, CypherTypeError
 from repro.engine.evaluator import Evaluator, has_aggregate
-from repro.graph.model import Node, PropertyGraph, Relationship
+from repro.graph.model import Node, PropertyGraph
 
 
 @pytest.fixture

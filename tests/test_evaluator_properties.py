@@ -1,8 +1,6 @@
 """Property tests: the evaluator agrees with the value-model primitives."""
 
-import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cypher.parser import parse_query
-from repro.engine.binding import BindingTable, ResultSet
 from repro.engine.errors import CypherRuntimeError, CypherSyntaxError
 from repro.engine.executor import Executor
 from repro.graph.model import PropertyGraph

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.runner import CampaignResult
 from repro.experiments import (
-    DAY_EQUIVALENT_SECONDS,
     figure10,
     figure10_throughput,
     figure11,

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.core.expressions import ExpressionFactory, type_of_value
 from repro.cypher import ast
 from repro.cypher.parser import parse_query
-from repro.cypher.printer import print_expression, print_query
+from repro.cypher.printer import print_expression
 from repro.engine.evaluator import Evaluator
 from repro.graph import values as V
 from repro.graph.generator import GraphGenerator

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.cypher.parser import parse_query
-from repro.cypher.printer import print_query
 from repro.engine.binding import ResultSet
 from repro.engine.errors import CypherRuntimeError, DatabaseCrash, ResourceExhausted
 from repro.gdb.catalog import all_faults, faults_for, gqs_scope_faults
-from repro.gdb.faults import Fault, FaultEffect, extract_features
+from repro.gdb.faults import FaultEffect, extract_features
 
 
 def features_of(text):

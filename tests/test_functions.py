@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.cypher.functions import (
-    AGGREGATES,
     FUNCTIONS,
     FunctionError,
     call_function,

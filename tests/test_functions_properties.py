@@ -1,8 +1,6 @@
 """Property tests over the function library's cross-cutting contracts."""
 
-import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cypher.lexer import LexError, Token, tokenize
+from repro.cypher.lexer import LexError, tokenize
 
 
 def kinds(text):

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.cypher import ast
-from repro.cypher.parser import ParseError, parse_expression, parse_query
-from repro.cypher.printer import print_expression, print_query
+from repro.cypher.parser import parse_expression, parse_query
+from repro.cypher.printer import print_expression
 from repro.engine.errors import CypherTypeError
 from repro.engine.executor import Executor
 from repro.graph.model import PropertyGraph

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cypher import ast
 from repro.cypher.parser import parse_query
 from repro.cypher.printer import print_query
 from repro.engine.executor import Executor

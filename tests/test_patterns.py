@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.expressions import ExpressionFactory
 from repro.core.patterns import GraphPath, PatternBuilder
 from repro.cypher import ast
 from repro.engine.evaluator import Evaluator

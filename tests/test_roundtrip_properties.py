@@ -5,7 +5,6 @@ constructors; printing then reparsing must reproduce the tree exactly (up to
 the printer's canonical parenthesization, which the second print exposes).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the GQS campaign runner."""
 
-import pytest
 
 from repro.core.runner import BugReport, CampaignResult, GQSTester, synthesizer_config_for
 from repro.gdb import ReferenceGDB, create_engine

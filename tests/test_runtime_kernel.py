@@ -7,9 +7,7 @@ tests drive it with a scripted tester/engine pair so every policy is
 observable, then sanity-check the real testers route through it.
 """
 
-import random
 
-import pytest
 
 from repro.baselines.common import BaselineTester
 from repro.baselines.gdsmith import GDsmithTester

@@ -8,7 +8,6 @@ positives — the flaw the approach exists to eliminate.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

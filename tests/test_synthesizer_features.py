@@ -11,7 +11,7 @@ from collections import Counter
 
 import pytest
 
-from repro.core import QuerySynthesizer, SynthesizerConfig
+from repro.core import QuerySynthesizer
 from repro.cypher.analysis import clause_types_in, functions_in
 from repro.cypher.printer import print_query
 from repro.gdb.faults import extract_features

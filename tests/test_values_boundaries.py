@@ -1,8 +1,6 @@
 """Boundary cases of the value model that bit us during development."""
 
-import math
 
-import pytest
 
 from repro.graph import values as V
 

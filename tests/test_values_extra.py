@@ -1,8 +1,7 @@
 """Additional property tests for the value model and binding layer."""
 
-import math
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.engine.binding import ResultSet
