@@ -2,12 +2,14 @@
 
 These are conventional pytest-benchmark measurements (multiple rounds) of
 the substrate pieces every experiment leans on: query synthesis, reference
-execution, pattern matching, and parsing — plus a campaign-grid pair that
-quantifies the observability overhead (the ``repro.obs`` contract is <5%
-with metrics enabled).
+execution, pattern matching, and parsing — plus campaign-grid pairs that
+quantify the observability overhead (the ``repro.obs`` contract is <5%
+with metrics enabled; the coverage/triage pair records its measured
+overhead ratio in the benchmark JSON via ``extra_info``).
 """
 
 import random
+import time
 
 import pytest
 from conftest import run_once
@@ -105,3 +107,38 @@ def test_campaign_grid_metrics_on(benchmark):
     plain = _metrics_grid(False)
     assert {key: result.detected_faults for key, result in grid.items()} == \
         {key: result.detected_faults for key, result in plain.items()}
+
+
+# The evaluation tier (coverage + triage) walks every proposed query's AST,
+# so its cost scales with query volume rather than span count.  Same
+# apples-to-apples protocol: identical grid, probe fully off in both runs,
+# the second run additionally accumulating coverage sets and bug signatures.
+
+
+def _coverage_grid(record_coverage):
+    return run_campaign_grid(
+        TESTER_NAMES, GRID_ENGINES, seeds=(0,), budget_seconds=4.0,
+        gate_scale=0.05, jobs=1,
+        record_coverage=record_coverage, record_triage=record_coverage,
+    )
+
+
+def test_campaign_grid_coverage_off(benchmark):
+    benchmark.extra_info["pair"] = "coverage-overhead/baseline"
+    grid = run_once(benchmark, _coverage_grid, False)
+    assert len(grid) == 12
+
+
+def test_campaign_grid_coverage_on(benchmark):
+    benchmark.extra_info["pair"] = "coverage-overhead/instrumented"
+    grid = run_once(benchmark, _coverage_grid, True)
+    baseline_start = time.perf_counter()
+    plain = _coverage_grid(False)
+    baseline_seconds = time.perf_counter() - baseline_start
+    assert {key: result.detected_faults for key, result in grid.items()} == \
+        {key: result.detected_faults for key, result in plain.items()}
+    # Lands in --benchmark-json so the overhead is recorded, not just derivable.
+    instrumented_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["baseline_seconds"] = round(baseline_seconds, 4)
+    benchmark.extra_info["overhead_ratio"] = round(
+        instrumented_seconds / baseline_seconds, 4)

@@ -69,6 +69,10 @@ class GDsmithTester(BaselineTester):
             other for other in self.comparison_engines if other is not engine
         ]
 
+    def session_engines(self, engine: GraphDatabase) -> list:
+        # Kernel-facing alias (bug attribution / flight recording).
+        return self._session_engines(engine)
+
     def load_graph(self, engine, graph, schema, restart) -> None:
         for gdb in self._session_engines(engine):
             gdb.load_graph(graph, schema, restart=restart)

@@ -4,11 +4,14 @@ Usage (also available as ``python -m repro``):
 
     repro campaign --engine falkordb --minutes 5 [--tester GQS] [--out r.json]
                    [--seeds K --jobs N] [--events LOG] [--resume LOG]
-                   [--metrics]
+                   [--metrics] [--coverage] [--triage] [--bundles DIR]
     repro compare  --engine falkordb --minutes 2 [--jobs N] [--resume LOG]
-                   [--metrics]
+                   [--metrics] [--coverage] [--triage] [--bundles DIR]
     repro stats    events.jsonl
     repro trace    events.jsonl
+    repro coverage events.jsonl
+    repro bugs     events.jsonl
+    repro replay   bundle.json [bundle2.json ...]
     repro table    2|3|4|5|6
     repro figure   10|11|12|13|14|15|18
     repro synthesize --seed 7 [--engine neo4j]
@@ -22,8 +25,13 @@ so an interrupted run restarts from where it left off (``--resume``).
 With ``--metrics`` the observability layer (:mod:`repro.obs`) is switched on
 for the run: counters, histograms, and spans are collected and written into
 the event stream as ``metrics`` / ``span`` events, which ``repro stats`` and
-``repro trace`` render afterwards.  Metrics never perturb the RNG streams —
-results are byte-identical with or without the flag.
+``repro trace`` render afterwards.  ``--coverage`` and ``--triage`` switch
+on the second tier — query-feature coverage and bug-signature triage
+snapshots (``coverage`` / ``triage`` events, rendered by ``repro coverage``
+/ ``repro bugs``) — and ``--bundles DIR`` makes the flight recorder write
+one replayable repro bundle per new bug signature (``repro replay``).  None
+of these perturb the RNG streams — results are byte-identical with or
+without the flags.
 """
 
 from __future__ import annotations
@@ -69,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume completed cells from this event log")
     campaign.add_argument("--metrics", action="store_true",
                           help="collect metrics and spans into the event log")
+    campaign.add_argument("--coverage", action="store_true",
+                          help="collect query-feature coverage events")
+    campaign.add_argument("--triage", action="store_true",
+                          help="collect bug-signature triage events")
+    campaign.add_argument("--bundles", default=None, metavar="DIR",
+                          help="write one repro bundle per new bug signature")
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
     compare.add_argument("--engine", default="falkordb",
@@ -83,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resume completed cells from this event log")
     compare.add_argument("--metrics", action="store_true",
                          help="collect metrics and spans into the event log")
+    compare.add_argument("--coverage", action="store_true",
+                         help="collect query-feature coverage events")
+    compare.add_argument("--triage", action="store_true",
+                         help="collect bug-signature triage events")
+    compare.add_argument("--bundles", default=None, metavar="DIR",
+                         help="write one repro bundle per new bug signature")
 
     stats = sub.add_parser(
         "stats", help="render metrics from a recorded event log"
@@ -93,6 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="render the span tree from a recorded event log"
     )
     trace.add_argument("events", help="JSONL event log written with --metrics")
+
+    coverage = sub.add_parser(
+        "coverage", help="render query-feature coverage from an event log"
+    )
+    coverage.add_argument(
+        "events", help="JSONL event log written with --coverage"
+    )
+
+    bugs = sub.add_parser(
+        "bugs", help="render the distinct-bug table from an event log"
+    )
+    bugs.add_argument("events", help="JSONL event log written with --triage")
+
+    replay = sub.add_parser(
+        "replay", help="replay flight-recorder repro bundle(s)"
+    )
+    replay.add_argument("bundles", nargs="+",
+                        help="bundle JSON file(s) written with --bundles")
 
     table = sub.add_parser("table", help="regenerate a table from the paper")
     table.add_argument("id", type=int, choices=[2, 3, 4, 5, 6])
@@ -146,6 +184,8 @@ def _cmd_campaign(args) -> int:
             result = run_tool_campaign(
                 args.tester, args.engine, budget_seconds=budget_seconds,
                 seed=args.seed, gate_scale=args.gate_scale, events=events,
+                record_coverage=args.coverage, record_triage=args.triage,
+                bundle_dir=args.bundles,
             )
         if events is not None:
             events.close()
@@ -158,7 +198,8 @@ def _cmd_campaign(args) -> int:
             budget_seconds=budget_seconds, gate_scale=args.gate_scale,
             derive_seeds=args.seeds > 1, jobs=args.jobs,
             events_path=args.events or args.resume, resume_path=args.resume,
-            record_metrics=args.metrics,
+            record_metrics=args.metrics, record_coverage=args.coverage,
+            record_triage=args.triage, bundle_dir=args.bundles,
         )
 
     all_faults: List[str] = []
@@ -178,6 +219,15 @@ def _cmd_campaign(args) -> int:
         logic, other = split_fault_counts(all_faults)
         print(f"union over {len(results)} seeds: "
               f"{logic + other} distinct bugs ({logic} logic)")
+    if args.triage:
+        # Signature-deduplicated view of the raw discrepancy stream.
+        from repro.experiments.campaign import distinct_bug_summary
+
+        for tester, entry in distinct_bug_summary(results).items():
+            print(f"{tester}: {entry['distinct']} distinct signature(s) "
+                  f"over {entry['reports']} discrepancy report(s)")
+            for sig, count in entry["signatures"].items():
+                print(f"  {sig}  ×{count}")
     if args.out:
         from repro.core.reporting import save_campaign
 
@@ -191,25 +241,37 @@ def _cmd_campaign(args) -> int:
 
 def _cmd_compare(args) -> int:
     from repro.experiments import run_campaign_grid
-    from repro.experiments.campaign import TESTER_NAMES, split_fault_counts
+    from repro.experiments.campaign import (
+        TESTER_NAMES,
+        distinct_bug_summary,
+        split_fault_counts,
+    )
 
     grid = run_campaign_grid(
         TESTER_NAMES, (args.engine,), seeds=(args.seed,),
         budget_seconds=args.minutes * 60.0, jobs=args.jobs,
         events_path=args.events or args.resume, resume_path=args.resume,
-        record_metrics=args.metrics,
+        record_metrics=args.metrics, record_coverage=args.coverage,
+        record_triage=args.triage, bundle_dir=args.bundles,
     )
     by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
-    print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} {'FPs':>5s}")
+    # "distinct" deduplicates the raw report stream by bug signature —
+    # "bugs" counts injected faults (white-box), "reports" every
+    # discrepancy the tester surfaced (including false positives).
+    dedup = distinct_bug_summary(grid)
+    print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} "
+          f"{'FPs':>5s} {'reports':>8s} {'distinct':>9s}")
     for tool in TESTER_NAMES:
         result = by_tool.get(tool)
         if result is None:
             print(f"{tool:>9s} {'-':>8s}")
             continue
         logic, other = split_fault_counts(result.detected_faults)
+        entry = dedup.get(tool, {"reports": 0, "distinct": 0})
         print(
             f"{tool:>9s} {result.queries_run:8d} {logic + other:5d} "
-            f"{logic:6d} {result.false_positive_count:5d}"
+            f"{logic:6d} {result.false_positive_count:5d} "
+            f"{entry['reports']:8d} {entry['distinct']:9d}"
         )
     return 0
 
@@ -242,6 +304,47 @@ def _cmd_trace(args) -> int:
     if events is None:
         return 2
     print(render_trace(events))
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from repro.obs import render_coverage
+
+    events = _load_events(args.events)
+    if events is None:
+        return 2
+    print(render_coverage(events))
+    return 0
+
+
+def _cmd_bugs(args) -> int:
+    from repro.obs import render_bugs
+
+    events = _load_events(args.events)
+    if events is None:
+        return 2
+    print(render_bugs(events))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import replay_bundle
+
+    failures = 0
+    for path in args.bundles:
+        if not Path(path).exists():
+            print(f"no such bundle: {path}", file=sys.stderr)
+            return 2
+        outcome = replay_bundle(path)
+        print(f"== {path} ==")
+        print(outcome.describe())
+        if not outcome.reproduced:
+            failures += 1
+    if failures:
+        print(f"{failures} bundle(s) FAILED to reproduce", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -353,6 +456,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "coverage": _cmd_coverage,
+        "bugs": _cmd_bugs,
+        "replay": _cmd_replay,
         "table": _cmd_table,
         "figure": _cmd_figure,
         "synthesize": _cmd_synthesize,

@@ -55,6 +55,7 @@ __all__ = [
     "campaign_grid_cells",
     "run_campaign_grid",
     "split_fault_counts",
+    "distinct_bug_summary",
 ]
 
 # 24 paper-hours compressed into 300 simulated seconds (clock compression
@@ -118,14 +119,33 @@ def run_tool_campaign(
     gate_scale: float = 1.0,
     max_queries: Optional[int] = None,
     events: Optional[EventLog] = None,
+    record_coverage: bool = False,
+    record_triage: bool = False,
+    bundle_dir: Optional[Union[str, Path]] = None,
 ) -> Optional[CampaignResult]:
     """Run one tool against one engine through the shared campaign kernel;
-    None when unsupported."""
+    None when unsupported.
+
+    ``record_coverage`` / ``record_triage`` switch on the second
+    observability tier (``coverage`` / ``triage`` events in *events*);
+    *bundle_dir* additionally writes one flight-recorder repro bundle per
+    new bug signature.  None of the three perturbs the campaign itself.
+    """
     if not tester_supports(tester_name, engine_name):
         return None
     engine = create_engine(engine_name, gate_scale=gate_scale)
     tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
-    kernel = CampaignKernel(events=events)
+    recorder = None
+    if bundle_dir is not None:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(bundle_dir)
+    kernel = CampaignKernel(
+        events=events,
+        record_coverage=record_coverage,
+        record_triage=record_triage,
+        recorder=recorder,
+    )
     return kernel.run(
         tester, engine, budget_seconds, seed=seed, max_queries=max_queries
     )
@@ -184,6 +204,9 @@ def run_campaign_grid(
     events_path: Optional[Union[str, Path]] = None,
     resume_path: Optional[Union[str, Path]] = None,
     record_metrics: bool = False,
+    record_coverage: bool = False,
+    record_triage: bool = False,
+    bundle_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[CellKey, CampaignResult]:
     """Run a full campaign grid, optionally parallel and resumable.
 
@@ -191,7 +214,10 @@ def run_campaign_grid(
     identical for any ``jobs`` value; with ``resume_path`` cells already
     checkpointed in that event log are merged in without re-running.  With
     ``record_metrics`` each worker runs its cell under a fresh observability
-    scope and the merged grid snapshot lands in the event log.
+    scope and the merged grid snapshot lands in the event log;
+    ``record_coverage`` / ``record_triage`` / ``bundle_dir`` likewise switch
+    on per-cell feature coverage, bug-signature triage, and the flight
+    recorder (all RNG-stream invariant).
     """
     cells = campaign_grid_cells(
         testers,
@@ -203,7 +229,9 @@ def run_campaign_grid(
         derive_seeds=derive_seeds,
     )
     runner = ParallelCampaignRunner(
-        jobs=jobs, events_path=events_path, record_metrics=record_metrics
+        jobs=jobs, events_path=events_path, record_metrics=record_metrics,
+        record_coverage=record_coverage, record_triage=record_triage,
+        bundle_dir=bundle_dir,
     )
     return runner.run(cells, resume_path=resume_path)
 
@@ -214,3 +242,31 @@ def split_fault_counts(fault_ids: Sequence[str]) -> Tuple[int, int]:
              for fault in faults_for(name)}
     logic = sum(1 for fid in fault_ids if by_id[fid].is_logic)
     return logic, len(fault_ids) - logic
+
+
+def distinct_bug_summary(
+    results: Dict[CellKey, CampaignResult],
+) -> Dict[str, Dict[str, int]]:
+    """Per-tester distinct-bug accounting over a grid's raw report streams.
+
+    The campaign tables report raw discrepancy counts; this folds each
+    tester's :attr:`~repro.runtime.results.CampaignResult.reports` through
+    the triage signatures (:func:`repro.obs.triage.distinct_signatures`), so
+    table-4-style outputs can show *distinct bugs* alongside occurrences —
+    the mechanical analogue of the paper's manual deduplication (§7).
+    """
+    from repro.obs import distinct_signatures
+
+    summary: Dict[str, Dict[str, int]] = {}
+    for (tester, _engine, _seed), result in sorted(results.items()):
+        reports = [r for r in result.reports if r is not None]
+        sigs = distinct_signatures(reports)
+        entry = summary.setdefault(
+            tester, {"reports": 0, "distinct": 0, "signatures": {}}
+        )
+        entry["reports"] += len(reports)
+        merged = entry["signatures"]
+        for sig, count in sigs.items():
+            merged[sig] = merged.get(sig, 0) + count
+        entry["distinct"] = len(merged)
+    return summary

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import KW_ONLY, dataclass
 from time import perf_counter
-from typing import Any, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.cypher import ast
 from repro.cypher.parser import parse_query
@@ -129,6 +129,10 @@ class GraphDatabase:
         self.graph: Optional[PropertyGraph] = None
         self.schema: Optional[GraphSchema] = None
         self.last_fired_fault: Optional[Fault] = None
+        # Session-query counter at the moment the last fault fired — the
+        # flight recorder stores it so session-gated faults (§5.4.4) refire
+        # on replay.
+        self.last_fault_session_queries: Optional[int] = None
         self.queries_since_restart = 0
         self.total_queries = 0
         self.crashed = False
@@ -189,6 +193,19 @@ class GraphDatabase:
             self.load_graph(graph, schema, restart=restart)
         return Session(self)
 
+    def spec(self) -> Dict[str, Any]:
+        """The JSON-ready recipe that rebuilds this engine configuration.
+
+        Mirrors :class:`EngineSpec`'s fields; the flight recorder embeds it
+        in repro bundles so ``repro replay`` can construct a replica with
+        the same fault switch and gate scale.
+        """
+        return {
+            "name": self.name,
+            "faults_enabled": self.faults_enabled,
+            "gate_scale": self.gate_scale,
+        }
+
     # -- query execution ----------------------------------------------------
 
     def execute(self, query: AnyQuery) -> ResultSet:
@@ -243,6 +260,7 @@ class GraphDatabase:
         self.queries_since_restart += 1
         self.total_queries += 1
         self.last_fired_fault = None
+        self.last_fault_session_queries = None
 
         features = extract_features(tree, text)
         self._check_dialect_support(features)
@@ -262,6 +280,7 @@ class GraphDatabase:
         if fired is not None and not fired.is_logic:
             # Crash/hang/exception faults fire before producing any rows.
             self.last_fired_fault = fired
+            self.last_fault_session_queries = self.queries_since_restart
             if fired.category == "crash":
                 self.crashed = True
             fired.effect(ResultSet([], []), features.signature_hash())
@@ -277,6 +296,7 @@ class GraphDatabase:
 
         if fired is not None:
             self.last_fired_fault = fired
+            self.last_fault_session_queries = self.queries_since_restart
             return fired.effect(correct, features.signature_hash())
         return correct
 

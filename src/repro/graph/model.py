@@ -369,6 +369,56 @@ class PropertyGraph:
             )
         return clone
 
+    # -- persistence (the flight-recorder bundle format) ----------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the graph, stable under insertion order.
+
+        Property values are already JSON-safe (int/float/str/bool/None and
+        homogeneous string lists — the generator's value universe), so the
+        round trip through :meth:`from_dict` is lossless.
+        """
+        return {
+            "nodes": [
+                {
+                    "id": node.id,
+                    "labels": sorted(node.labels),
+                    "properties": dict(node.properties),
+                }
+                for node in sorted(self._nodes.values(), key=_node_id)
+            ],
+            "relationships": [
+                {
+                    "id": rel.id,
+                    "type": rel.type,
+                    "start": rel.start,
+                    "end": rel.end,
+                    "properties": dict(rel.properties),
+                }
+                for rel in sorted(self._relationships.values(), key=_rel_id)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PropertyGraph":
+        """Rebuild a graph previously serialized by :meth:`to_dict`."""
+        graph = cls()
+        for item in data.get("nodes", ()):
+            graph.add_node(
+                item.get("labels", ()),
+                item.get("properties"),
+                node_id=item["id"],
+            )
+        for item in data.get("relationships", ()):
+            graph.add_relationship(
+                item["start"],
+                item["end"],
+                item["type"],
+                item.get("properties"),
+                rel_id=item["id"],
+            )
+        return graph
+
     def __repr__(self) -> str:
         return (
             f"PropertyGraph(nodes={self.node_count}, "

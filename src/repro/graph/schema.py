@@ -94,3 +94,19 @@ class GraphSchema:
             "node_properties": [(p.name, p.type) for p in self.node_properties],
             "rel_properties": [(p.name, p.type) for p in self.rel_properties],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GraphSchema":
+        """Rebuild a schema from a :meth:`describe` snapshot (JSON round trip)."""
+        return cls(
+            labels=list(data.get("labels", ())),
+            relationship_types=list(data.get("relationship_types", ())),
+            node_properties=[
+                PropertySpec(name, ptype)
+                for name, ptype in data.get("node_properties", ())
+            ],
+            rel_properties=[
+                PropertySpec(name, ptype)
+                for name, ptype in data.get("rel_properties", ())
+            ],
+        )

@@ -16,12 +16,30 @@ runtime that accounting as a first-class subsystem:
 * :mod:`repro.obs.render` — ``repro stats`` / ``repro trace`` renderers
   that turn any recorded event log into a profile.
 
+A second tier answers the paper's *evaluation* questions — what did the
+synthesized queries exercise, and which discrepancies are the same bug:
+
+* :mod:`repro.obs.coverage` — per-query feature vectors (clauses,
+  functions, operators, pattern shapes, nesting depth) accumulated into
+  per-cell coverage sets and coverage-over-time curves (§5.3 lens);
+* :mod:`repro.obs.triage` — bug signatures (``engine:fault_id`` with
+  injection on, normalized failure fingerprints with it off) that
+  deduplicate the discrepancy stream into distinct bugs;
+* :mod:`repro.obs.recorder` — the flight recorder: one self-contained,
+  replayable repro bundle per newly-seen signature (``repro replay``).
+
 The contract with the runtime: instrumentation never draws randomness and
 never changes control flow, so campaign results are byte-identical with
 observability on or off; the deterministic snapshot sections are identical
 for any worker count.
 """
 
+from repro.obs.coverage import (
+    CellCoverage,
+    coverage_curve,
+    merge_coverage_snapshots,
+    query_feature_tags,
+)
 from repro.obs.metrics import (
     DEFAULT_COUNT_EDGES,
     DEFAULT_TIME_EDGES,
@@ -37,14 +55,46 @@ from repro.obs.metrics import (
     split_metric_key,
 )
 from repro.obs.probe import PROBE, Probe, disable, enable, observed
+from repro.obs.recorder import (
+    BUNDLE_FORMAT,
+    FlightRecorder,
+    ReplayOutcome,
+    load_bundle,
+    replay_bundle,
+)
 from repro.obs.render import (
     merged_snapshot_from_events,
+    render_bugs,
+    render_coverage,
     render_stats,
     render_trace,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.obs.triage import (
+    CellTriage,
+    distinct_signatures,
+    merge_triage_snapshots,
+    normalize_detail,
+    signature_for,
+)
 
 __all__ = [
+    "BUNDLE_FORMAT",
+    "CellCoverage",
+    "CellTriage",
+    "FlightRecorder",
+    "ReplayOutcome",
+    "coverage_curve",
+    "distinct_signatures",
+    "load_bundle",
+    "merge_coverage_snapshots",
+    "merge_triage_snapshots",
+    "normalize_detail",
+    "query_feature_tags",
+    "render_bugs",
+    "render_coverage",
+    "replay_bundle",
+    "signature_for",
     "DEFAULT_COUNT_EDGES",
     "DEFAULT_TIME_EDGES",
     "Counter",

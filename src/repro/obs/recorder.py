@@ -1,0 +1,265 @@
+"""The flight recorder: self-contained repro bundles for found bugs.
+
+The paper's unit of communication with GDB developers is a reproducible bug
+report — the query, the graph it ran on, and the expected vs. actual
+results (§5, Figures 1/7/8).  The flight recorder produces exactly that
+artifact mechanically: the first time a campaign cell sees a *new* bug
+signature (:mod:`repro.obs.triage`), it writes a JSON **bundle** holding
+everything needed to replay the discrepancy from a cold start:
+
+* the engine spec (name, fault switch, gate scale — the picklable recipe
+  the parallel runner already uses),
+* the schema and the full serialized property graph,
+* the query text and the session-query counter at fault-fire time (session
+  accumulation bugs need it, §5.4.4),
+* the **expected** rows (same engine, faults disabled) and the **actual**
+  rows (faults as configured), both computed by the deterministic replay
+  procedure itself at record time — so ``repro replay BUNDLE`` re-executing
+  the same procedure must reproduce them byte-for-byte,
+* the per-cell SHA-256-derived seed and the campaign report metadata.
+
+Bundles are per-cell (the filename embeds tester/engine/seed plus a digest
+of the signature), so parallel workers never contend for a file and the
+bundle set is identical for any worker count.
+
+Recording draws no randomness — replica engines execute the recorded query
+deterministically — so campaign results stay byte-identical with the
+recorder on or off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runtime.results import BugReport
+
+__all__ = [
+    "FlightRecorder",
+    "ReplayOutcome",
+    "load_bundle",
+    "replay_bundle",
+    "BUNDLE_FORMAT",
+]
+
+BUNDLE_FORMAT = "gqs-bundle/1"
+
+
+def _execute_side(
+    bundle: Dict[str, Any], *, faults_enabled: bool
+) -> Dict[str, Any]:
+    """Run the bundle's query on a fresh replica engine; JSON-ready outcome.
+
+    The *expected* side disables faults (reference semantics on the same
+    dialect); the *actual* side replays the recorded fault configuration and
+    session state.  Both are pure functions of the bundle contents.
+    """
+    from repro.obs.metrics import NULL_REGISTRY
+    from repro.obs.probe import PROBE
+    from repro.obs.trace import NULL_TRACER
+
+    # Replica executions must not leak into the campaign's own metrics
+    # stream, so the probe is parked while the replay runs.
+    previous = (PROBE.metrics, PROBE.tracer, PROBE.on)
+    PROBE.metrics, PROBE.tracer, PROBE.on = NULL_REGISTRY, NULL_TRACER, False
+    try:
+        return _execute_side_unprobed(bundle, faults_enabled=faults_enabled)
+    finally:
+        PROBE.metrics, PROBE.tracer, PROBE.on = previous
+
+
+def _execute_side_unprobed(
+    bundle: Dict[str, Any], *, faults_enabled: bool
+) -> Dict[str, Any]:
+    from repro.engine.errors import CypherError, DatabaseCrash, ResourceExhausted
+    from repro.gdb.engines import EngineSpec
+    from repro.graph.model import PropertyGraph
+    from repro.graph.schema import GraphSchema
+
+    spec = bundle["engine_spec"]
+    engine = EngineSpec(
+        spec["name"],
+        faults_enabled=faults_enabled and spec.get("faults_enabled", True),
+        gate_scale=spec.get("gate_scale", 1.0),
+    ).create()
+    graph = PropertyGraph.from_dict(bundle["graph"])
+    schema = (
+        GraphSchema.from_dict(bundle["schema"])
+        if bundle.get("schema") is not None
+        else None
+    )
+    engine.load_graph(graph, schema, restart=True)
+    if faults_enabled and bundle.get("session_queries"):
+        # Restore the session-accumulation counter to just before the
+        # recorded query, so session-gated faults (§5.4.4) refire.
+        engine.queries_since_restart = int(bundle["session_queries"]) - 1
+    try:
+        result = engine.execute(bundle["query"])
+    except (DatabaseCrash, ResourceExhausted, CypherError) as exc:
+        return {
+            "error": f"{type(exc).__name__}: {exc}",
+            "fault_id": (
+                engine.last_fired_fault.fault_id
+                if engine.last_fired_fault
+                else None
+            ),
+        }
+    return {
+        "columns": list(result.columns),
+        "rows": result.to_table(engine.dialect),
+        "fault_id": (
+            engine.last_fired_fault.fault_id
+            if engine.last_fired_fault
+            else None
+        ),
+    }
+
+
+class FlightRecorder:
+    """Writes one repro bundle per new bug signature into a directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.bundles_written: List[Path] = []
+
+    def bundle_path(
+        self, tester: str, engine: str, seed: int, signature: str
+    ) -> Path:
+        digest = hashlib.sha256(signature.encode("utf-8")).hexdigest()[:12]
+        return self.directory / f"{tester}-{engine}-{seed}-{digest}.json"
+
+    def record(
+        self,
+        *,
+        signature: str,
+        tester: str,
+        seed: int,
+        report: BugReport,
+        graph,
+        schema,
+        engine_spec: Dict[str, Any],
+        session_queries: Optional[int],
+        query_index: int,
+    ) -> Path:
+        """Write the repro bundle for one newly-seen signature.
+
+        ``engine_spec`` describes the engine the report is attributed to;
+        ``session_queries`` is its query counter at fault-fire time (None
+        when no fault fired or the counter was not observed).
+        """
+        bundle: Dict[str, Any] = {
+            "format": BUNDLE_FORMAT,
+            "signature": signature,
+            "tester": tester,
+            "engine": report.engine,
+            "cell_seed": seed,
+            "engine_spec": dict(engine_spec),
+            "schema": schema.describe() if schema is not None else None,
+            "graph": graph.to_dict(),
+            "query": report.query_text,
+            "kind": report.kind,
+            "detail": report.detail,
+            "fault_id": report.fault_id,
+            "session_queries": session_queries,
+            "sim_time": report.sim_time,
+            "query_index": query_index,
+        }
+        # Record-time self-replay: the stored expected/actual are produced
+        # by the exact procedure `repro replay` re-runs, so a bundle is
+        # reproducible by construction.
+        bundle["expected"] = _execute_side(bundle, faults_enabled=False)
+        bundle["actual"] = _execute_side(bundle, faults_enabled=True)
+        bundle["discrepant"] = bundle["expected"] != bundle["actual"]
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.bundle_path(tester, report.engine, seed, signature)
+        path.write_text(
+            json.dumps(bundle, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        self.bundles_written.append(path)
+        return path
+
+
+def load_bundle(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read one flight-recorder bundle, validating the format marker."""
+    bundle = json.loads(Path(path).read_text(encoding="utf-8"))
+    if bundle.get("format") != BUNDLE_FORMAT:
+        raise ValueError(
+            f"{path}: not a flight-recorder bundle "
+            f"(format={bundle.get('format')!r})"
+        )
+    return bundle
+
+
+class ReplayOutcome:
+    """Result of replaying a bundle against the recorded outcomes."""
+
+    def __init__(
+        self,
+        bundle: Dict[str, Any],
+        expected: Dict[str, Any],
+        actual: Dict[str, Any],
+    ):
+        self.bundle = bundle
+        self.expected = expected
+        self.actual = actual
+
+    @property
+    def expected_matches(self) -> bool:
+        return self.expected == self.bundle.get("expected")
+
+    @property
+    def actual_matches(self) -> bool:
+        return self.actual == self.bundle.get("actual")
+
+    @property
+    def reproduced(self) -> bool:
+        """Whether the replay reproduced the recorded discrepancy exactly."""
+        return self.expected_matches and self.actual_matches
+
+    @property
+    def discrepant(self) -> bool:
+        return self.expected != self.actual
+
+    def describe(self) -> str:
+        bundle = self.bundle
+        lines = [
+            f"bundle    {bundle.get('signature')}",
+            f"tester    {bundle.get('tester')}  engine {bundle.get('engine')}"
+            f"  cell-seed {bundle.get('cell_seed')}",
+            f"kind      {bundle.get('kind')}  fault {bundle.get('fault_id')}",
+            f"query     {bundle.get('query')}",
+        ]
+        for side, payload, match in (
+            ("expected", self.expected, self.expected_matches),
+            ("actual", self.actual, self.actual_matches),
+        ):
+            if "error" in payload:
+                shown = payload["error"]
+            else:
+                rows = payload.get("rows", [])
+                shown = f"{len(rows)} row(s)"
+            verdict = "matches recording" if match else "DIVERGED from recording"
+            lines.append(f"{side:<9s} {shown}  [{verdict}]")
+        lines.append(
+            "discrepancy "
+            + ("reproduced" if self.discrepant else "not present on replay")
+        )
+        return "\n".join(lines)
+
+
+def replay_bundle(source: Union[str, Path, Dict[str, Any]]) -> ReplayOutcome:
+    """Re-execute a bundle's query on replica engines and compare.
+
+    Returns a :class:`ReplayOutcome`; ``outcome.reproduced`` asserts that
+    both the expected and the actual side came out byte-identical to what
+    the recorder stored — the flight recorder's determinism contract.
+    """
+    bundle = (
+        source if isinstance(source, dict) else load_bundle(source)
+    )
+    expected = _execute_side(bundle, faults_enabled=False)
+    actual = _execute_side(bundle, faults_enabled=True)
+    return ReplayOutcome(bundle, expected, actual)

@@ -4,23 +4,32 @@
 that every campaign/grid run can append to (``--events``): ``stats`` merges
 the ``metrics`` snapshots and renders per-stage time histograms plus the
 per-tester×engine query accounting; ``trace`` rebuilds the span tree from
-``span`` events and renders it aggregated by stage name.
+``span`` events and renders it aggregated by stage name.  ``repro
+coverage`` and ``repro bugs`` render the second observability tier —
+``coverage`` events (query-feature coverage, :mod:`repro.obs.coverage`)
+and ``triage`` events (distinct-bug signatures, :mod:`repro.obs.triage`).
 
-Both work on *any* past run — profiling is a property of the log, not of
-the process that produced it.
+All four work on *any* past run — profiling is a property of the log, not
+of the process that produced it.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.coverage import feature_kind, merge_coverage_snapshots
 from repro.obs.metrics import merge_snapshots, split_metric_key
+from repro.obs.triage import merge_triage_snapshots
 
 __all__ = [
     "metrics_snapshots_in",
     "merged_snapshot_from_events",
+    "coverage_snapshots_in",
+    "triage_snapshots_in",
     "render_stats",
     "render_trace",
+    "render_coverage",
+    "render_bugs",
 ]
 
 Event = Dict[str, Any]
@@ -168,7 +177,10 @@ def render_stats(events: Iterable[Event]) -> str:
         lines.append("")
 
     if not lines:
-        return "no metrics events in log (re-run with --metrics)"
+        return (
+            "no metrics events in log "
+            "(re-run with --metrics / observed() around the campaign)"
+        )
     return "\n".join(lines).rstrip()
 
 
@@ -221,7 +233,10 @@ def render_trace(events: Iterable[Event]) -> str:
     """
     spans = [e for e in events if e.get("event") == "span"]
     if not spans:
-        return "no span events in log (re-run with --metrics)"
+        return (
+            "no span events in log "
+            "(re-run with --metrics / EventLog(record_spans=True))"
+        )
 
     by_cell: Dict[str, List[Event]] = {}
     for span in spans:
@@ -244,4 +259,147 @@ def render_trace(events: Iterable[Event]) -> str:
                 emit(agg.children, depth + 1)
 
         emit(_aggregate_spans(by_cell[cell]), 1)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# repro coverage
+# ---------------------------------------------------------------------------
+
+
+def coverage_snapshots_in(events: Iterable[Event]) -> List[Event]:
+    """The ``coverage`` events of a stream, campaign-scoped ones preferred.
+
+    Same double-counting rule as :func:`metrics_snapshots_in`: a grid log
+    carries one per-cell snapshot per campaign plus a merged grid rollup;
+    per-cell snapshots win when present.
+    """
+    all_cov = [e for e in events if e.get("event") == "coverage"]
+    campaign_scoped = [e for e in all_cov if e.get("scope") == "campaign"]
+    return campaign_scoped or all_cov
+
+
+def _feature_family_rows(features: Dict[str, Any]) -> List[Tuple[str, int, int]]:
+    """(family, distinct features, total occurrences) rows, sorted."""
+    distinct: Dict[str, int] = {}
+    occurrences: Dict[str, int] = {}
+    for tag, (count, _first) in features.items():
+        family = feature_kind(tag)
+        distinct[family] = distinct.get(family, 0) + 1
+        occurrences[family] = occurrences.get(family, 0) + count
+    return [(family, distinct[family], occurrences[family])
+            for family in sorted(distinct)]
+
+
+def _render_curve(curve: List[Any], width: int = 48) -> List[str]:
+    """The coverage-vs-queries curve as an ASCII bar series (downsampled)."""
+    points = [(int(q), int(n)) for q, n in curve]
+    if not points:
+        return []
+    if len(points) > 12:
+        step = len(points) / 12.0
+        picked = {int(i * step) for i in range(12)} | {len(points) - 1}
+        points = [points[i] for i in sorted(picked)]
+    peak = max(n for _q, n in points) or 1
+    lines = []
+    for queries, n_features in points:
+        bar = "█" * max(1, round(width * n_features / peak))
+        lines.append(f"  {queries:8d} q {n_features:6d} {bar}")
+    return lines
+
+
+def render_coverage(events: Iterable[Event]) -> str:
+    """Per-tester feature-coverage tables + the coverage-vs-queries curve."""
+    snapshots = coverage_snapshots_in(events)
+    if not snapshots:
+        return (
+            "no coverage events in log "
+            "(re-run with --coverage / CampaignKernel(record_coverage=True))"
+        )
+
+    by_tester: Dict[str, List[Dict[str, Any]]] = {}
+    for event in snapshots:
+        by_tester.setdefault(str(event.get("tester", "?")), []).append(
+            event["snapshot"]
+        )
+
+    lines: List[str] = []
+    for tester in sorted(by_tester):
+        merged = merge_coverage_snapshots(by_tester[tester])
+        lines.append(
+            f"== {tester}: feature coverage "
+            f"({len(merged['features'])} features / "
+            f"{merged['queries']} queries) =="
+        )
+        lines.append(f"  {'family':<10s} {'distinct':>9s} {'occurrences':>12s}")
+        for family, n_distinct, n_occ in _feature_family_rows(
+            merged["features"]
+        ):
+            lines.append(f"  {family:<10s} {n_distinct:>9d} {n_occ:>12d}")
+        lines.append("")
+
+    overall = merge_coverage_snapshots(
+        [event["snapshot"] for event in snapshots]
+    )
+    lines.append(
+        f"== coverage over time ({len(overall['features'])} features / "
+        f"{overall['queries']} queries) =="
+    )
+    lines.extend(_render_curve(overall.get("curve", [])))
+    return "\n".join(lines).rstrip()
+
+
+# ---------------------------------------------------------------------------
+# repro bugs
+# ---------------------------------------------------------------------------
+
+
+def triage_snapshots_in(events: Iterable[Event]) -> List[Event]:
+    """The ``triage`` events of a stream, campaign-scoped ones preferred."""
+    all_triage = [e for e in events if e.get("event") == "triage"]
+    campaign_scoped = [e for e in all_triage if e.get("scope") == "campaign"]
+    return campaign_scoped or all_triage
+
+
+def render_bugs(events: Iterable[Event]) -> str:
+    """The distinct-bug table of an event log, one row per signature."""
+    events = list(events)
+    snapshots = triage_snapshots_in(events)
+    if not snapshots:
+        return (
+            "no triage events in log "
+            "(re-run with --triage / CampaignKernel(record_triage=True))"
+        )
+    merged = merge_triage_snapshots(
+        [event["snapshot"] for event in snapshots]
+    )
+    bugs = merged["bugs"]
+    lines = [
+        f"{merged['distinct']} distinct bug(s), "
+        f"{merged['occurrences']} occurrence(s)"
+    ]
+    if bugs:
+        sig_width = max(max(len(sig) for sig in bugs), len("signature")) + 2
+        lines.append(
+            f"{'signature':<{sig_width}s} {'count':>6s} {'kind':>6s} "
+            f"{'first seed':>10s} {'first query':>12s}  testers"
+        )
+        for sig in sorted(bugs):
+            entry = bugs[sig]
+            first = entry.get("first_seen", {})
+            lines.append(
+                f"{sig:<{sig_width}s} {entry.get('count', 0):>6d} "
+                f"{str(entry.get('kind', '?')):>6s} "
+                f"{str(first.get('seed', '-')):>10s} "
+                f"{str(first.get('query', '-')):>12s}  "
+                + ",".join(entry.get("testers", []))
+            )
+    bundles = [e for e in events if e.get("event") == "bundle"]
+    if bundles:
+        lines.append("")
+        lines.append(f"{len(bundles)} repro bundle(s):")
+        for event in sorted(bundles, key=lambda e: str(e.get("path", ""))):
+            lines.append(
+                f"  {event.get('path', '?')}  [{event.get('signature', '?')}]"
+            )
     return "\n".join(lines)

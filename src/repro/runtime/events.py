@@ -14,7 +14,13 @@ purposes:
 * **profiling** — with observability enabled (:mod:`repro.obs`), campaigns
   additionally append ``span`` events (the trace tree) and ``metrics``
   events (instrument snapshots); ``repro stats`` / ``repro trace`` turn any
-  such log into a profile, and resume tolerates both kinds.
+  such log into a profile;
+* **evaluation** — the second observability tier appends ``coverage``
+  events (query-feature coverage snapshots, rendered by ``repro
+  coverage``), ``triage`` events (distinct-bug signature snapshots,
+  ``repro bugs``) and ``bundle`` events (one per flight-recorder repro
+  bundle written).  Resume tolerates every kind — unknown events are
+  carried, never choked on.
 
 The JSONL (de)serialization itself lives in :mod:`repro.core.reporting`
 alongside the campaign persistence format; this module only owns the

@@ -18,8 +18,16 @@ kernel traces each stage as a span — ``campaign`` → ``graph`` →
 queries/faults/graphs per (tester, engine), and attributes per-judgement
 simulated time to a fixed-bucket histogram.  At campaign end the finished
 spans and a metrics snapshot are emitted into the event stream (``span`` /
-``metrics`` events).  None of this touches the RNG stream: results are
-byte-identical with observability on or off.
+``metrics`` events).
+
+The second observability tier is opt-in per kernel: ``record_coverage``
+folds every proposal's query into a :class:`repro.obs.coverage.
+CellCoverage` accumulator (emitted as one ``coverage`` event at campaign
+end), ``record_triage`` deduplicates the discrepancy stream into bug
+signatures (:class:`repro.obs.triage.CellTriage`, one ``triage`` event),
+and a :class:`repro.obs.recorder.FlightRecorder` writes one replayable
+repro ``bundle`` the first time a signature is seen.  None of this touches
+the RNG stream: results are byte-identical with observability on or off.
 """
 
 from __future__ import annotations
@@ -41,8 +49,18 @@ _DONE = object()
 class CampaignKernel:
     """Budget-driven campaign executor for any :class:`TesterProtocol`."""
 
-    def __init__(self, events: Optional[EventLog] = None):
+    def __init__(
+        self,
+        events: Optional[EventLog] = None,
+        *,
+        record_coverage: bool = False,
+        record_triage: bool = False,
+        recorder=None,
+    ):
         self.events = events if events is not None else EventLog()
+        self.record_coverage = record_coverage
+        self.record_triage = record_triage
+        self.recorder = recorder
 
     def run(
         self,
@@ -56,6 +74,19 @@ class CampaignKernel:
         rng = random.Random(seed)
         result = CampaignResult(tester.name, engine.name)
         seen_faults: set = set()
+
+        coverage = triage = None
+        if self.record_coverage:
+            from repro.obs.coverage import CellCoverage
+
+            coverage = CellCoverage(tester.name, engine.name, seed)
+        if self.record_triage or self.recorder is not None:
+            # The recorder needs the signature stream even when triage
+            # events themselves were not requested.
+            from repro.obs.triage import CellTriage
+
+            triage = CellTriage(tester.name, engine.name, seed)
+
         tester.campaign_begin(engine, rng)
         self.events.emit(
             "campaign_start",
@@ -109,6 +140,8 @@ class CampaignKernel:
                             proposal = next(proposals, _DONE)
                         if proposal is _DONE:
                             break
+                        if coverage is not None:
+                            coverage.observe(proposal)
                         sim_before = result.sim_seconds
                         with tracer.span("judge"):
                             judgement = tester.judge(
@@ -127,7 +160,11 @@ class CampaignKernel:
                             metrics.histogram(
                                 "stage.sim_seconds", stage="judge"
                             ).observe(result.sim_seconds - sim_before)
-                        self._record(result, judgement, seen_faults)
+                        self._record(
+                            result, judgement, seen_faults,
+                            triage=triage, tester=tester, engine=engine,
+                            seed=seed,
+                        )
                         if tester.recover(engine, graph, schema):
                             self.events.emit(
                                 "crash",
@@ -166,6 +203,24 @@ class CampaignKernel:
                 seed=seed,
                 snapshot=metrics.snapshot(),
             )
+        if coverage is not None:
+            self.events.emit(
+                "coverage",
+                scope="campaign",
+                tester=tester.name,
+                engine=engine.name,
+                seed=seed,
+                snapshot=coverage.snapshot(),
+            )
+        if triage is not None and self.record_triage:
+            self.events.emit(
+                "triage",
+                scope="campaign",
+                tester=tester.name,
+                engine=engine.name,
+                seed=seed,
+                snapshot=triage.snapshot(),
+            )
         return result
 
     # -- internals --------------------------------------------------------
@@ -183,12 +238,27 @@ class CampaignKernel:
         return True
 
     def _record(
-        self, result: CampaignResult, judgement: Judgement, seen_faults: set
+        self,
+        result: CampaignResult,
+        judgement: Judgement,
+        seen_faults: set,
+        *,
+        triage=None,
+        tester: Optional[TesterProtocol] = None,
+        engine=None,
+        seed: int = 0,
     ) -> None:
         report = judgement.report
         if report is None:
             return
         result.reports.append(report)
+        if triage is not None:
+            signature, is_new = triage.add(report, result.queries_run)
+            if is_new and self.recorder is not None:
+                self._record_bundle(
+                    signature, report, tester, engine, seed,
+                    query_index=result.queries_run,
+                )
         if report.fault_id and report.fault_id not in seen_faults:
             seen_faults.add(report.fault_id)
             result.timeline.append((report.sim_time, report.fault_id))
@@ -201,3 +271,53 @@ class CampaignKernel:
                 sim_time=report.sim_time,
                 engine=report.engine,
             )
+
+    def _record_bundle(
+        self,
+        signature: str,
+        report,
+        tester: TesterProtocol,
+        engine,
+        seed: int,
+        *,
+        query_index: int,
+    ) -> None:
+        """Write a flight-recorder bundle for a newly-seen bug signature.
+
+        The bundle snapshots the *attributed* engine's current graph copy
+        (session mutations included) and, for session-gated faults, the
+        query counter at fire time — everything the deterministic replay
+        needs (:mod:`repro.obs.recorder`).
+        """
+        target = engine
+        for gdb in tester.session_engines(engine):
+            if gdb.name == report.engine:
+                target = gdb
+                break
+        if target.graph is None:
+            return
+        session_queries = None
+        if report.fault_id:
+            session_queries = (
+                target.last_fault_session_queries
+                or target.queries_since_restart
+            )
+        path = self.recorder.record(
+            signature=signature,
+            tester=tester.name,
+            seed=seed,
+            report=report,
+            graph=target.graph,
+            schema=target.schema,
+            engine_spec=target.spec(),
+            session_queries=session_queries,
+            query_index=query_index,
+        )
+        self.events.emit(
+            "bundle",
+            tester=tester.name,
+            engine=report.engine,
+            seed=seed,
+            signature=signature,
+            path=str(path),
+        )

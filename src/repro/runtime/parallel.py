@@ -84,7 +84,8 @@ def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
     merge depends on.
     """
     (tester_name, engine_name, seed, budget_seconds, gate_scale,
-     max_queries, record_queries, record_metrics) = spec
+     max_queries, record_queries, record_metrics,
+     record_coverage, record_triage, bundle_dir) = spec
     from repro.core.reporting import campaign_to_dict
     from repro.experiments.campaign import make_tester
     from repro.gdb.engines import EngineSpec
@@ -95,8 +96,21 @@ def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
     log = EventLog(record_queries=record_queries,
                    record_spans=record_metrics)
 
+    recorder = None
+    if bundle_dir is not None:
+        # Bundle filenames embed the cell identity, so workers sharing one
+        # directory never contend for a file.
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(bundle_dir)
+
     def run() -> "CampaignResult":
-        return CampaignKernel(events=log).run(
+        return CampaignKernel(
+            events=log,
+            record_coverage=record_coverage,
+            record_triage=record_triage,
+            recorder=recorder,
+        ).run(
             tester,
             engine,
             budget_seconds,
@@ -127,11 +141,17 @@ class ParallelCampaignRunner:
         events_path: Optional[Union[str, Path]] = None,
         record_queries: bool = False,
         record_metrics: bool = False,
+        record_coverage: bool = False,
+        record_triage: bool = False,
+        bundle_dir: Optional[Union[str, Path]] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.events_path = Path(events_path) if events_path else None
         self.record_queries = record_queries
         self.record_metrics = record_metrics
+        self.record_coverage = record_coverage
+        self.record_triage = record_triage
+        self.bundle_dir = Path(bundle_dir) if bundle_dir else None
 
     def run(
         self,
@@ -148,7 +168,11 @@ class ParallelCampaignRunner:
             raise ValueError("duplicate (tester, engine, seed) cells in grid")
 
         done: Dict[CellKey, CampaignResult] = {}
-        resumed_snapshots: List[Dict] = []
+        # Per-campaign observability snapshots by kind, fresh and resumed
+        # alike, feeding the grid-scope barrier merges below.
+        snapshots: Dict[str, List[Dict]] = {
+            "metrics": [], "coverage": [], "triage": [],
+        }
         if resume_path is not None and Path(resume_path).exists():
             from repro.core.reporting import (
                 completed_cells_from_events,
@@ -159,16 +183,15 @@ class ParallelCampaignRunner:
             resume_events = load_event_stream(resume_path)
             recorded = completed_cells_from_events(resume_events)
             done = {key: recorded[key] for key in recorded if key in wanted}
-            # Metrics snapshots of already-checkpointed cells still count
-            # toward the merged grid snapshot.
-            resumed_snapshots = [
-                event["snapshot"]
-                for event in resume_events
-                if event.get("event") == "metrics"
-                and event.get("scope") == "campaign"
-                and (event.get("tester"), event.get("engine"),
-                     event.get("seed")) in done
-            ]
+            # Observability snapshots of already-checkpointed cells still
+            # count toward the merged grid snapshots.
+            for event in resume_events:
+                kind = event.get("event")
+                if (kind in snapshots
+                        and event.get("scope") == "campaign"
+                        and (event.get("tester"), event.get("engine"),
+                             event.get("seed")) in done):
+                    snapshots[kind].append(event["snapshot"])
 
         pending = [cell for cell in cells if cell.key not in done]
         with EventLog(self.events_path,
@@ -180,16 +203,15 @@ class ParallelCampaignRunner:
                 pending=len(pending),
                 jobs=self.jobs,
             )
-            snapshots = list(resumed_snapshots)
             for cell, (campaign, events) in zip(
                 pending, self._execute(pending)
             ):
                 log.extend(events)
-                snapshots.extend(
-                    event["snapshot"] for event in events
-                    if event.get("event") == "metrics"
-                    and event.get("scope") == "campaign"
-                )
+                for event in events:
+                    kind = event.get("event")
+                    if (kind in snapshots
+                            and event.get("scope") == "campaign"):
+                        snapshots[kind].append(event["snapshot"])
                 from repro.core.reporting import campaign_from_dict
 
                 done[cell.key] = campaign_from_dict(campaign)
@@ -200,7 +222,7 @@ class ParallelCampaignRunner:
                     seed=cell.seed,
                     campaign=campaign,
                 )
-            if self.record_metrics and snapshots:
+            if self.record_metrics and snapshots["metrics"]:
                 # Barrier merge: per-worker snapshots fold element-wise
                 # (fixed bucket edges), so the result is independent of
                 # worker count and completion order.
@@ -209,8 +231,28 @@ class ParallelCampaignRunner:
                 log.emit(
                     "metrics",
                     scope="grid",
-                    cells=len(snapshots),
-                    snapshot=merge_snapshots(snapshots),
+                    cells=len(snapshots["metrics"]),
+                    snapshot=merge_snapshots(snapshots["metrics"]),
+                )
+            if snapshots["coverage"]:
+                # Coverage/triage merges fold cells in sorted (tester,
+                # engine, seed) order internally — same invariant.
+                from repro.obs import merge_coverage_snapshots
+
+                log.emit(
+                    "coverage",
+                    scope="grid",
+                    cells=len(snapshots["coverage"]),
+                    snapshot=merge_coverage_snapshots(snapshots["coverage"]),
+                )
+            if snapshots["triage"]:
+                from repro.obs import merge_triage_snapshots
+
+                log.emit(
+                    "triage",
+                    scope="grid",
+                    cells=len(snapshots["triage"]),
+                    snapshot=merge_triage_snapshots(snapshots["triage"]),
                 )
             log.emit("grid_end", cells=len(cells))
         return {cell.key: done[cell.key] for cell in cells}
@@ -221,7 +263,8 @@ class ParallelCampaignRunner:
         return [
             (cell.tester, cell.engine, cell.seed, cell.budget_seconds,
              cell.gate_scale, cell.max_queries, self.record_queries,
-             self.record_metrics)
+             self.record_metrics, self.record_coverage, self.record_triage,
+             str(self.bundle_dir) if self.bundle_dir else None)
             for cell in cells
         ]
 

@@ -120,6 +120,16 @@ class TesterProtocol:
         """
         raise NotImplementedError
 
+    def session_engines(self, engine: "GraphDatabase") -> list:
+        """Every engine instance live in the current session.
+
+        Single-engine testers run against *engine* alone; differential
+        testers (GDsmith) override this to expose their comparison engines,
+        so the kernel can attribute bug reports — and flight-recorder
+        bundles — to the engine instance that actually misbehaved.
+        """
+        return [engine]
+
     def recover(
         self,
         engine: "GraphDatabase",
