@@ -142,3 +142,61 @@ def test_campaign_grid_coverage_on(benchmark):
     benchmark.extra_info["baseline_seconds"] = round(baseline_seconds, 4)
     benchmark.extra_info["overhead_ratio"] = round(
         instrumented_seconds / baseline_seconds, 4)
+
+
+# -- test-case reduction (repro.reduce) -------------------------------------
+#
+# Pair: replaying a bundle set once (the oracle's unit of work) vs. fully
+# delta-debugging it.  The reduction benchmark records its throughput in
+# oracle replays/second and the mean graph shrink ratio achieved, so the
+# bench JSON tracks both speed and minimization quality over time.
+
+REDUCE_BUDGET = 120  # replays per bundle: full graph passes + query start
+
+
+@pytest.fixture(scope="module")
+def reduction_corpus(tmp_path_factory):
+    from repro.experiments.campaign import run_tool_campaign
+
+    directory = tmp_path_factory.mktemp("bundles")
+    run_tool_campaign(
+        "GQS", "falkordb", budget_seconds=6.0, seed=0, gate_scale=0.05,
+        record_triage=True, bundle_dir=directory,
+    )
+    return directory
+
+
+def test_bundle_replay_throughput(benchmark, reduction_corpus):
+    from repro.obs import load_bundle, replay_bundle
+    from repro.reduce import iter_bundle_paths
+
+    benchmark.extra_info["pair"] = "reduction/replay-baseline"
+    bundles = [load_bundle(p) for p in iter_bundle_paths([reduction_corpus])]
+
+    def replay_all():
+        for bundle in bundles:
+            assert replay_bundle(bundle).reproduced
+
+    benchmark(replay_all)
+
+
+def test_bundle_reduction(benchmark, reduction_corpus):
+    from repro.reduce import ReductionRunner
+
+    benchmark.extra_info["pair"] = "reduction/minimize"
+    outcomes = run_once(
+        benchmark,
+        lambda: ReductionRunner(replay_budget=REDUCE_BUDGET).run(
+            [reduction_corpus]
+        ),
+    )
+    reduced = [o for o in outcomes if o.reproduced]
+    assert reduced
+    seconds = benchmark.stats.stats.mean
+    replays = sum(o.oracle_replays for o in reduced)
+    shrinks = [o.graph_shrink_ratio for o in reduced]
+    benchmark.extra_info["bundles"] = len(reduced)
+    benchmark.extra_info["oracle_replays_per_sec"] = round(
+        replays / seconds, 2)
+    benchmark.extra_info["mean_shrink_ratio"] = round(
+        sum(shrinks) / len(shrinks), 4)

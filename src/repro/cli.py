@@ -5,13 +5,16 @@ Usage (also available as ``python -m repro``):
     repro campaign --engine falkordb --minutes 5 [--tester GQS] [--out r.json]
                    [--seeds K --jobs N] [--events LOG] [--resume LOG]
                    [--metrics] [--coverage] [--triage] [--bundles DIR]
+                   [--reduce]
     repro compare  --engine falkordb --minutes 2 [--jobs N] [--resume LOG]
                    [--metrics] [--coverage] [--triage] [--bundles DIR]
+                   [--reduce]
     repro stats    events.jsonl
     repro trace    events.jsonl
     repro coverage events.jsonl
     repro bugs     events.jsonl
     repro replay   bundle.json [bundle2.json ...]
+    repro reduce   bundle.json|DIR [...] [--jobs N] [--replay-budget R]
     repro table    2|3|4|5|6
     repro figure   10|11|12|13|14|15|18
     repro synthesize --seed 7 [--engine neo4j]
@@ -29,9 +32,12 @@ the event stream as ``metrics`` / ``span`` events, which ``repro stats`` and
 on the second tier — query-feature coverage and bug-signature triage
 snapshots (``coverage`` / ``triage`` events, rendered by ``repro coverage``
 / ``repro bugs``) — and ``--bundles DIR`` makes the flight recorder write
-one replayable repro bundle per new bug signature (``repro replay``).  None
-of these perturb the RNG streams — results are byte-identical with or
-without the flags.
+one replayable repro bundle per new bug signature (``repro replay``).  With
+``--reduce`` every recorded bundle is additionally minimized in place
+through the delta-debugging subsystem (``*.min.json``, :mod:`repro.reduce`)
+— ``repro reduce`` runs the same minimization after the fact over existing
+bundles or whole bundle directories.  None of these perturb the RNG streams
+— results are byte-identical with or without the flags.
 """
 
 from __future__ import annotations
@@ -83,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="collect bug-signature triage events")
     campaign.add_argument("--bundles", default=None, metavar="DIR",
                           help="write one repro bundle per new bug signature")
+    campaign.add_argument("--reduce", action="store_true",
+                          help="minimize each recorded bundle (*.min.json); "
+                               "requires --bundles")
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
     compare.add_argument("--engine", default="falkordb",
@@ -103,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="collect bug-signature triage events")
     compare.add_argument("--bundles", default=None, metavar="DIR",
                          help="write one repro bundle per new bug signature")
+    compare.add_argument("--reduce", action="store_true",
+                         help="minimize each recorded bundle (*.min.json); "
+                              "requires --bundles")
 
     stats = sub.add_parser(
         "stats", help="render metrics from a recorded event log"
@@ -131,6 +143,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("bundles", nargs="+",
                         help="bundle JSON file(s) written with --bundles")
+
+    reduce = sub.add_parser(
+        "reduce",
+        help="minimize repro bundle(s) via signature-preserving ddmin",
+    )
+    reduce.add_argument(
+        "sources", nargs="+",
+        help="bundle JSON file(s) and/or directories of bundles",
+    )
+    reduce.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (one bundle per task)")
+    reduce.add_argument(
+        "--replay-budget", type=int, default=None, metavar="R",
+        help="cap replica executions per bundle (default: unbounded)",
+    )
 
     table = sub.add_parser("table", help="regenerate a table from the paper")
     table.add_argument("id", type=int, choices=[2, 3, 4, 5, 6])
@@ -167,6 +194,9 @@ def _cmd_campaign(args) -> int:
     if not tester_supports(args.tester, args.engine):
         print(f"{args.tester} does not support {args.engine}", file=sys.stderr)
         return 2
+    if args.reduce and not args.bundles:
+        print("--reduce requires --bundles DIR", file=sys.stderr)
+        return 2
     budget_seconds = args.minutes * 60.0
 
     if args.seeds <= 1 and not args.resume:
@@ -185,7 +215,7 @@ def _cmd_campaign(args) -> int:
                 args.tester, args.engine, budget_seconds=budget_seconds,
                 seed=args.seed, gate_scale=args.gate_scale, events=events,
                 record_coverage=args.coverage, record_triage=args.triage,
-                bundle_dir=args.bundles,
+                bundle_dir=args.bundles, reduce_bundles=args.reduce,
             )
         if events is not None:
             events.close()
@@ -200,6 +230,7 @@ def _cmd_campaign(args) -> int:
             events_path=args.events or args.resume, resume_path=args.resume,
             record_metrics=args.metrics, record_coverage=args.coverage,
             record_triage=args.triage, bundle_dir=args.bundles,
+            reduce_bundles=args.reduce,
         )
 
     all_faults: List[str] = []
@@ -247,12 +278,16 @@ def _cmd_compare(args) -> int:
         split_fault_counts,
     )
 
+    if args.reduce and not args.bundles:
+        print("--reduce requires --bundles DIR", file=sys.stderr)
+        return 2
     grid = run_campaign_grid(
         TESTER_NAMES, (args.engine,), seeds=(args.seed,),
         budget_seconds=args.minutes * 60.0, jobs=args.jobs,
         events_path=args.events or args.resume, resume_path=args.resume,
         record_metrics=args.metrics, record_coverage=args.coverage,
         record_triage=args.triage, bundle_dir=args.bundles,
+        reduce_bundles=args.reduce,
     )
     by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
     # "distinct" deduplicates the raw report stream by bug signature —
@@ -342,6 +377,60 @@ def _cmd_replay(args) -> int:
         print(outcome.describe())
         if not outcome.reproduced:
             failures += 1
+            diverged = [
+                side
+                for side, match in (
+                    ("expected", outcome.expected_matches),
+                    ("actual", outcome.actual_matches),
+                )
+                if not match
+            ]
+            print(
+                f"{path}: {' and '.join(diverged)} side(s) "
+                "diverged from the recording",
+                file=sys.stderr,
+            )
+    if failures:
+        print(f"{failures} bundle(s) FAILED to reproduce", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    from pathlib import Path
+
+    from repro.reduce import ReductionRunner, iter_bundle_paths
+
+    for source in args.sources:
+        if not Path(source).exists():
+            print(f"no such bundle or directory: {source}", file=sys.stderr)
+            return 2
+    if not iter_bundle_paths(args.sources):
+        print("no bundles found", file=sys.stderr)
+        return 2
+    runner = ReductionRunner(jobs=args.jobs, replay_budget=args.replay_budget)
+    failures = 0
+    for outcome in runner.run(args.sources):
+        if not outcome.reproduced:
+            failures += 1
+            print(
+                f"{outcome.source}: does not replay to its recorded "
+                "signature — not reduced",
+                file=sys.stderr,
+            )
+            continue
+        before, after = outcome.original, outcome.reduced
+        print(
+            f"{outcome.source}: {outcome.signature}\n"
+            f"  nodes {before['nodes']} -> {after['nodes']}, "
+            f"relationships {before['relationships']} -> "
+            f"{after['relationships']}, "
+            f"properties {before['properties']} -> {after['properties']}, "
+            f"query {before['query_bytes']}B -> {after['query_bytes']}B "
+            f"({outcome.oracle_replays} replays, "
+            f"{outcome.rounds} round(s))\n"
+            f"  -> {outcome.min_path}"
+        )
     if failures:
         print(f"{failures} bundle(s) FAILED to reproduce", file=sys.stderr)
         return 1
@@ -459,6 +548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "coverage": _cmd_coverage,
         "bugs": _cmd_bugs,
         "replay": _cmd_replay,
+        "reduce": _cmd_reduce,
         "table": _cmd_table,
         "figure": _cmd_figure,
         "synthesize": _cmd_synthesize,

@@ -122,6 +122,7 @@ def run_tool_campaign(
     record_coverage: bool = False,
     record_triage: bool = False,
     bundle_dir: Optional[Union[str, Path]] = None,
+    reduce_bundles: bool = False,
 ) -> Optional[CampaignResult]:
     """Run one tool against one engine through the shared campaign kernel;
     None when unsupported.
@@ -129,7 +130,9 @@ def run_tool_campaign(
     ``record_coverage`` / ``record_triage`` switch on the second
     observability tier (``coverage`` / ``triage`` events in *events*);
     *bundle_dir* additionally writes one flight-recorder repro bundle per
-    new bug signature.  None of the three perturbs the campaign itself.
+    new bug signature, and ``reduce_bundles`` minimizes each bundle in
+    place (``*.min.json``, :mod:`repro.reduce`).  None of these perturbs
+    the campaign itself.
     """
     if not tester_supports(tester_name, engine_name):
         return None
@@ -139,7 +142,7 @@ def run_tool_campaign(
     if bundle_dir is not None:
         from repro.obs import FlightRecorder
 
-        recorder = FlightRecorder(bundle_dir)
+        recorder = FlightRecorder(bundle_dir, auto_reduce=reduce_bundles)
     kernel = CampaignKernel(
         events=events,
         record_coverage=record_coverage,
@@ -207,6 +210,7 @@ def run_campaign_grid(
     record_coverage: bool = False,
     record_triage: bool = False,
     bundle_dir: Optional[Union[str, Path]] = None,
+    reduce_bundles: bool = False,
 ) -> Dict[CellKey, CampaignResult]:
     """Run a full campaign grid, optionally parallel and resumable.
 
@@ -217,7 +221,8 @@ def run_campaign_grid(
     scope and the merged grid snapshot lands in the event log;
     ``record_coverage`` / ``record_triage`` / ``bundle_dir`` likewise switch
     on per-cell feature coverage, bug-signature triage, and the flight
-    recorder (all RNG-stream invariant).
+    recorder, and ``reduce_bundles`` minimizes every recorded bundle in
+    place (all RNG-stream invariant).
     """
     cells = campaign_grid_cells(
         testers,
@@ -231,7 +236,7 @@ def run_campaign_grid(
     runner = ParallelCampaignRunner(
         jobs=jobs, events_path=events_path, record_metrics=record_metrics,
         record_coverage=record_coverage, record_triage=record_triage,
-        bundle_dir=bundle_dir,
+        bundle_dir=bundle_dir, reduce_bundles=reduce_bundles,
     )
     return runner.run(cells, resume_path=resume_path)
 

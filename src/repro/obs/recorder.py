@@ -118,11 +118,41 @@ def _execute_side_unprobed(
 
 
 class FlightRecorder:
-    """Writes one repro bundle per new bug signature into a directory."""
+    """Writes one repro bundle per new bug signature into a directory.
 
-    def __init__(self, directory: Union[str, Path]):
+    With ``auto_reduce=True`` every bundle is additionally minimized in
+    place (``<bundle>.min.json`` sibling) through the delta-debugging
+    subsystem (:mod:`repro.reduce`), with the shrink stats collected in
+    :attr:`reductions`.  ``reduce_replay_budget`` caps the replica
+    executions each minimization may spend; ``None`` means reduce to the
+    true fixpoint.
+    """
+
+    #: Default per-bundle replay cap for campaign-inline reduction: enough
+    #: to finish the graph passes and make a solid dent in the query, while
+    #: bounding the inline cost to a few seconds per bundle.
+    DEFAULT_REDUCE_BUDGET = 400
+
+    #: Sentinel distinguishing "use the class default" from an explicit
+    #: ``None`` (= reduce to the unbudgeted fixpoint).
+    _USE_DEFAULT_BUDGET = object()
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        auto_reduce: bool = False,
+        reduce_replay_budget: Any = _USE_DEFAULT_BUDGET,
+    ):
         self.directory = Path(directory)
         self.bundles_written: List[Path] = []
+        self.auto_reduce = auto_reduce
+        if reduce_replay_budget is self._USE_DEFAULT_BUDGET:
+            # Resolved at call time so the class attribute stays the single
+            # tunable knob (tests dial it down for speed).
+            reduce_replay_budget = type(self).DEFAULT_REDUCE_BUDGET
+        self.reduce_replay_budget: Optional[int] = reduce_replay_budget
+        #: Shrink-stat dicts (one per auto-reduced bundle, in record order).
+        self.reductions: List[Dict[str, Any]] = []
 
     def bundle_path(
         self, tester: str, engine: str, seed: int, signature: str
@@ -179,6 +209,15 @@ class FlightRecorder:
             json.dumps(bundle, indent=2, sort_keys=True), encoding="utf-8"
         )
         self.bundles_written.append(path)
+        if self.auto_reduce:
+            # Imported lazily: repro.reduce replays through this module, so
+            # a top-level import would be circular.
+            from repro.reduce.runner import reduce_bundle
+
+            outcome = reduce_bundle(
+                path, replay_budget=self.reduce_replay_budget
+            )
+            self.reductions.append(outcome.to_dict())
         return path
 
 

@@ -402,4 +402,34 @@ def render_bugs(events: Iterable[Event]) -> str:
             lines.append(
                 f"  {event.get('path', '?')}  [{event.get('signature', '?')}]"
             )
+            shrink = _reduction_note(event.get("path"))
+            if shrink:
+                lines.append(f"    {shrink}")
     return "\n".join(lines)
+
+
+def _reduction_note(path: Optional[str]) -> Optional[str]:
+    """Original vs. reduced sizes for a bundle whose ``*.min.json`` exists.
+
+    Renders from the minimized bundle's embedded ``reduction`` stats; any
+    missing or unreadable sibling (bundle moved, reduction never ran) just
+    drops the note — ``repro bugs`` must keep working on bare logs.
+    """
+    if not path:
+        return None
+    import json
+    from pathlib import Path
+
+    source = Path(path)
+    min_path = source.with_name(source.stem + ".min.json")
+    try:
+        stats = json.loads(min_path.read_text(encoding="utf-8"))["reduction"]
+        before, after = stats["original"], stats["reduced"]
+        return (
+            f"reduced: nodes {before['nodes']}->{after['nodes']}, "
+            f"rels {before['relationships']}->{after['relationships']}, "
+            f"query {before['query_bytes']}B->{after['query_bytes']}B "
+            f"({min_path.name})"
+        )
+    except (OSError, KeyError, ValueError):
+        return None

@@ -1,0 +1,56 @@
+"""Signature-preserving test-case reduction over repro bundles.
+
+The flight recorder (:mod:`repro.obs.recorder`) snapshots *everything* a
+discrepancy needs to replay — the entire random graph and the entire
+synthesized query — which is far more than the fault needs and exactly the
+triage bottleneck the GDB-testing literature calls out: complex generated
+states make reported bugs expensive to diagnose.  This package turns every
+``gqs-bundle/1`` into a minimal, human-readable repro automatically:
+
+* :mod:`repro.reduce.ddmin` — the minimizing-delta-debugging core;
+* :mod:`repro.reduce.graph` — graph shrinking (nodes → relationships →
+  property entries, schema-validated);
+* :mod:`repro.reduce.query` — hierarchical delta debugging over the
+  Cypher AST, every candidate printer→parser round-tripped;
+* :mod:`repro.reduce.oracle` — the signature-preservation gate: a step is
+  accepted only if the candidate replays to the *same* triage signature
+  (:mod:`repro.obs.triage`), so reduction never wanders onto a different
+  bug;
+* :mod:`repro.reduce.runner` — per-bundle orchestration, ``*.min.json``
+  output, and the process-pool fan-out behind ``repro reduce --jobs``.
+
+Reduction draws no randomness and replays candidates through the same
+parked-probe procedure as ``repro replay``; it is deterministic (the same
+bundle always minimizes to the byte-identical ``*.min.json``, for any job
+count) and RNG-stream invariant for the campaign that triggers it.
+"""
+
+from repro.reduce.ddmin import ddmin
+from repro.reduce.graph import graph_sizes, shrink_graph, validate_against_schema
+from repro.reduce.oracle import ReductionOracle, failure_shape
+from repro.reduce.query import reduce_query, roundtrips
+from repro.reduce.runner import (
+    ReductionOutcome,
+    ReductionRunner,
+    bundle_sizes,
+    iter_bundle_paths,
+    min_path_for,
+    reduce_bundle,
+)
+
+__all__ = [
+    "ReductionOracle",
+    "ReductionOutcome",
+    "ReductionRunner",
+    "bundle_sizes",
+    "ddmin",
+    "failure_shape",
+    "graph_sizes",
+    "iter_bundle_paths",
+    "min_path_for",
+    "reduce_bundle",
+    "reduce_query",
+    "roundtrips",
+    "shrink_graph",
+    "validate_against_schema",
+]

@@ -1,0 +1,77 @@
+"""Minimizing delta debugging (ddmin) over ordered item lists.
+
+The classic Zeller/Hildebrandt algorithm, phrased for *shrinking*: given a
+list of items for which ``test(items)`` holds (here: "this subset of graph
+elements still reproduces the bug signature"), find a small sublist for
+which it still holds.  The search tries each chunk alone ("reduce to
+subset"), then each chunk's complement ("reduce to complement"), doubling
+granularity when neither helps — O(n²) tests worst case, near-linear when
+most items are irrelevant, which is exactly the repro-bundle situation.
+
+Determinism: chunk boundaries and scan order are fixed functions of the
+input order, and the algorithm draws no randomness, so the same input list
+and test function always minimize to the same sublist.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["ddmin"]
+
+T = TypeVar("T")
+
+
+def _chunks(items: List[T], n: int) -> List[List[T]]:
+    """Split *items* into *n* contiguous chunks of near-equal length."""
+    size, extra = divmod(len(items), n)
+    out: List[List[T]] = []
+    start = 0
+    for index in range(n):
+        end = start + size + (1 if index < extra else 0)
+        if end > start:
+            out.append(items[start:end])
+        start = end
+    return out
+
+
+def ddmin(
+    items: Sequence[T],
+    test: Callable[[List[T]], bool],
+    *,
+    min_size: int = 0,
+) -> List[T]:
+    """Shrink *items* to a 1-minimal-per-chunk sublist where *test* holds.
+
+    ``test(list(items))`` is assumed to hold (callers verify the baseline
+    before invoking).  ``min_size`` short-circuits once the list is already
+    at or below that many items.  The relative order of surviving items is
+    preserved, which keeps downstream serialization stable.
+    """
+    items = list(items)
+    n = 2
+    while len(items) > max(1, min_size):
+        chunks = _chunks(items, min(n, len(items)))
+        # Reduce to subset: a single chunk that already reproduces is the
+        # biggest possible win at this granularity.
+        for chunk in chunks:
+            if len(chunk) < len(items) and test(chunk):
+                items, n = chunk, 2
+                break
+        else:
+            # Reduce to complement: drop one chunk at a time.
+            for index in range(len(chunks)):
+                complement = [
+                    item
+                    for j, chunk in enumerate(chunks)
+                    if j != index
+                    for item in chunk
+                ]
+                if len(complement) < len(items) and test(complement):
+                    items, n = complement, max(n - 1, 2)
+                    break
+            else:
+                if n >= len(items):
+                    break
+                n = min(len(items), n * 2)
+    return items

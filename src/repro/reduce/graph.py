@@ -1,0 +1,172 @@
+"""Graph shrinking: ddmin over nodes, relationships, then property entries.
+
+The bundle records the *entire* random graph the campaign generated, but a
+fault usually needs only a handful of elements — the triggering pattern
+match plus whatever rows make the corruption visible.  This pass minimizes
+the serialized graph (the bundle's ``graph`` dict, the exact form the
+replay procedure consumes) in three ddmin sweeps:
+
+1. **nodes** — candidates are induced subgraphs: dropping a node drops
+   every relationship touching it, so chunk removals can never dangle an
+   endpoint;
+2. **relationships** — over the survivors, with all remaining nodes kept;
+3. **property entries** — one item per ``(element kind, id, name)`` triple,
+   mirroring the paper's ``<element, name>`` property keys.
+
+Every candidate is validated against the recorded schema *before* it is
+replayed (labels, relationship types and property names must stay declared
+— the contract the Kùzu-style structured engines enforce at load time) and
+then accepted only if the reduction oracle confirms the original triage
+signature.  Items are processed in sorted-id order, so the shrink is
+deterministic for any chunking trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.reduce.ddmin import ddmin
+from repro.reduce.oracle import ReductionOracle
+
+__all__ = ["graph_sizes", "validate_against_schema", "shrink_graph"]
+
+GraphDict = Dict[str, Any]
+PropertyItem = Tuple[str, int, str]  # (element kind, element id, name)
+
+
+def graph_sizes(graph: GraphDict) -> Dict[str, int]:
+    """Node / relationship / property-entry counts of a serialized graph."""
+    nodes = graph.get("nodes", ())
+    rels = graph.get("relationships", ())
+    properties = sum(len(item.get("properties", {})) for item in nodes)
+    properties += sum(len(item.get("properties", {})) for item in rels)
+    return {
+        "nodes": len(nodes),
+        "relationships": len(rels),
+        "properties": properties,
+    }
+
+
+def validate_against_schema(
+    graph: GraphDict, schema: Optional[Dict[str, Any]]
+) -> bool:
+    """Whether every label/type/property the graph uses is schema-declared.
+
+    With no recorded schema the check passes vacuously (schema-free
+    engines accept any graph).  Shrinking only ever *removes* usage, so a
+    valid original stays valid — the check guards the invariant rather
+    than steering the search.
+    """
+    if schema is None:
+        return True
+    labels = set(schema.get("labels", ()))
+    rel_types = set(schema.get("relationship_types", ()))
+    # The generator stamps an implicit ``id`` property on every element
+    # (mirroring the element id); it is always legal even though the
+    # declared schema lists only the synthesized ``k*`` keys.
+    node_props = {name for name, _t in schema.get("node_properties", ())}
+    node_props.add("id")
+    rel_props = {name for name, _t in schema.get("rel_properties", ())}
+    rel_props.add("id")
+    for node in graph.get("nodes", ()):
+        if not set(node.get("labels", ())) <= labels:
+            return False
+        if not set(node.get("properties", {})) <= node_props:
+            return False
+    for rel in graph.get("relationships", ()):
+        if rel.get("type") not in rel_types:
+            return False
+        if not set(rel.get("properties", {})) <= rel_props:
+            return False
+    return True
+
+
+def _induced(graph: GraphDict, node_ids: Set[int]) -> GraphDict:
+    """The subgraph induced by *node_ids* (dangling relationships dropped)."""
+    return {
+        "nodes": [n for n in graph["nodes"] if n["id"] in node_ids],
+        "relationships": [
+            r
+            for r in graph["relationships"]
+            if r["start"] in node_ids and r["end"] in node_ids
+        ],
+    }
+
+
+def _keep_relationships(graph: GraphDict, rel_ids: Set[int]) -> GraphDict:
+    return {
+        "nodes": graph["nodes"],
+        "relationships": [
+            r for r in graph["relationships"] if r["id"] in rel_ids
+        ],
+    }
+
+
+def _property_items(graph: GraphDict) -> List[PropertyItem]:
+    """Every property entry as a (kind, element id, name) item, sorted."""
+    items: List[PropertyItem] = []
+    for node in graph["nodes"]:
+        items.extend(("node", node["id"], name) for name in node["properties"])
+    for rel in graph["relationships"]:
+        items.extend(("rel", rel["id"], name) for name in rel["properties"])
+    return sorted(items)
+
+
+def _keep_properties(graph: GraphDict, kept: Set[PropertyItem]) -> GraphDict:
+    def strip(kind: str, item: Dict[str, Any]) -> Dict[str, Any]:
+        out = dict(item)
+        out["properties"] = {
+            name: value
+            for name, value in item["properties"].items()
+            if (kind, item["id"], name) in kept
+        }
+        return out
+
+    return {
+        "nodes": [strip("node", n) for n in graph["nodes"]],
+        "relationships": [strip("rel", r) for r in graph["relationships"]],
+    }
+
+
+def shrink_graph(
+    graph: GraphDict,
+    oracle: ReductionOracle,
+    query: Optional[str] = None,
+    schema: Optional[Dict[str, Any]] = None,
+) -> GraphDict:
+    """Minimize a serialized graph while the oracle keeps accepting it.
+
+    *query* fixes the query text the oracle replays candidates under (the
+    cooperating-pass protocol: the query reducer's current best, not
+    necessarily the bundle's original).  Returns a new graph dict; the
+    input is never mutated.
+    """
+
+    def check(candidate: GraphDict) -> bool:
+        if not validate_against_schema(candidate, schema):
+            return False
+        return oracle.accepts(graph=candidate, query=query)
+
+    # Pass 1: nodes (induced subgraphs keep relationships consistent).
+    node_ids = sorted(n["id"] for n in graph["nodes"])
+    kept_nodes = ddmin(
+        node_ids, lambda ids: check(_induced(graph, set(ids))), min_size=1
+    )
+    graph = _induced(graph, set(kept_nodes))
+
+    # Pass 2: relationships over the survivors.
+    rel_ids = sorted(r["id"] for r in graph["relationships"])
+    if rel_ids:
+        kept_rels = ddmin(
+            rel_ids, lambda ids: check(_keep_relationships(graph, set(ids)))
+        )
+        graph = _keep_relationships(graph, set(kept_rels))
+
+    # Pass 3: property entries (the paper's <element, name> keys).
+    items = _property_items(graph)
+    if items:
+        kept_items = ddmin(
+            items, lambda keep: check(_keep_properties(graph, set(keep)))
+        )
+        graph = _keep_properties(graph, set(kept_items))
+    return graph

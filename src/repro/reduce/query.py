@@ -1,0 +1,453 @@
+"""Query reduction: hierarchical delta debugging over the Cypher AST.
+
+The synthesized queries that trigger faults carry far more structure than
+the fault needs — WITH hops, pages of pairwise-inequality WHERE conjuncts,
+ORDER BY keys, redundant patterns.  This pass minimizes the query text in
+three cooperating phases, coarse to fine (the HDD discipline: remove whole
+subtrees before touching their leaves):
+
+1. **structural** — drop clauses (WITH hops, OPTIONAL MATCH, UNWIND,
+   CALL), UNION branches, WHERE/ORDER BY/SKIP/LIMIT/DISTINCT refinements,
+   individual patterns/projection items/order keys, pattern chain
+   suffixes/prefixes, and per-element labels/types/property maps;
+2. **conjunct ddmin** — each WHERE is flattened into its top-level AND
+   chain and delta-debugged as a list (the dominant text mass of GQS
+   queries is exactly such a chain);
+3. **expression hoisting** — any remaining subexpression may be replaced
+   by one of its own children (``(a AND b)`` → ``a``, ``abs(x)`` → ``x``),
+   the "replace subtree by identity" move of expression-level HDD.
+
+Every candidate AST is printed and must round-trip through the parser to
+the identical text (the printer→parser idempotence invariant the property
+suite asserts) before the reduction oracle replays it; a candidate is
+committed only when it is strictly shorter *and* reproduces the original
+triage signature.  Enumeration order is a fixed function of the AST, so
+reduction is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_query
+from repro.cypher.printer import print_query
+from repro.reduce.ddmin import ddmin
+from repro.reduce.oracle import ReductionOracle
+
+__all__ = ["reduce_query", "roundtrips"]
+
+AnyQuery = Union[ast.Query, ast.UnionQuery]
+
+
+def roundtrips(text: str) -> Optional[AnyQuery]:
+    """Parse *text* and confirm it reprints identically; None otherwise."""
+    try:
+        query = parse_query(text)
+    except Exception:
+        return None
+    return query if print_query(query) == text else None
+
+
+# ---------------------------------------------------------------------------
+# Structural (clause-level) variants
+# ---------------------------------------------------------------------------
+
+
+def _node_variants(node: ast.NodePattern) -> Iterator[ast.NodePattern]:
+    if node.labels:
+        yield replace(node, labels=())
+    if node.properties is not None:
+        yield replace(node, properties=None)
+
+
+def _rel_variants(rel: ast.RelationshipPattern) -> Iterator[ast.RelationshipPattern]:
+    if rel.types:
+        yield replace(rel, types=())
+    if rel.properties is not None:
+        yield replace(rel, properties=None)
+
+
+def _pattern_variants(pattern: ast.PathPattern) -> Iterator[ast.PathPattern]:
+    if pattern.path_variable:
+        yield replace(pattern, path_variable=None)
+    # Chain truncation: keep a prefix or a suffix of the path.
+    for keep in range(len(pattern.relationships), 0, -1):
+        yield replace(
+            pattern,
+            nodes=pattern.nodes[: keep + 1],
+            relationships=pattern.relationships[:keep],
+        )
+        yield replace(
+            pattern,
+            nodes=pattern.nodes[-(keep + 1):],
+            relationships=pattern.relationships[-keep:],
+        )
+    if pattern.relationships:
+        yield ast.PathPattern(nodes=(pattern.nodes[0],))
+        yield ast.PathPattern(nodes=(pattern.nodes[-1],))
+    for index, node in enumerate(pattern.nodes):
+        for variant in _node_variants(node):
+            nodes = list(pattern.nodes)
+            nodes[index] = variant
+            yield replace(pattern, nodes=tuple(nodes))
+    for index, rel in enumerate(pattern.relationships):
+        for variant in _rel_variants(rel):
+            rels = list(pattern.relationships)
+            rels[index] = variant
+            yield replace(pattern, relationships=tuple(rels))
+
+
+def _drop_each(items: tuple) -> Iterator[tuple]:
+    if len(items) > 1:
+        for index in range(len(items)):
+            yield items[:index] + items[index + 1:]
+
+
+def _clause_variants(clause: ast.Clause) -> Iterator[ast.Clause]:
+    if isinstance(clause, ast.Match):
+        if clause.where is not None:
+            yield replace(clause, where=None)
+        for patterns in _drop_each(clause.patterns):
+            yield replace(clause, patterns=patterns)
+        for index, pattern in enumerate(clause.patterns):
+            for variant in _pattern_variants(pattern):
+                out = list(clause.patterns)
+                out[index] = variant
+                yield replace(clause, patterns=tuple(out))
+    elif isinstance(clause, (ast.With, ast.Return)):
+        if clause.order_by:
+            yield replace(clause, order_by=())
+            for order_by in _drop_each(clause.order_by):
+                yield replace(clause, order_by=order_by)
+        if clause.skip is not None:
+            yield replace(clause, skip=None)
+        if clause.limit is not None:
+            yield replace(clause, limit=None)
+        if clause.distinct:
+            yield replace(clause, distinct=False)
+        if isinstance(clause, ast.With) and clause.where is not None:
+            yield replace(clause, where=None)
+        for items in _drop_each(clause.items):
+            yield replace(clause, items=items)
+        for index, item in enumerate(clause.items):
+            if item.alias and isinstance(item.expression, ast.Variable):
+                out = list(clause.items)
+                out[index] = replace(item, alias=None)
+                yield replace(clause, items=tuple(out))
+
+
+def _structural_variants(query: AnyQuery) -> Iterator[AnyQuery]:
+    if isinstance(query, ast.UnionQuery):
+        yield query.left
+        yield query.right
+        for variant in _structural_variants(query.left):
+            yield ast.UnionQuery(variant, query.right, query.all)
+        for variant in _structural_variants(query.right):
+            yield ast.UnionQuery(query.left, variant, query.all)
+        return
+    # Whole-clause drops first (coarsest granularity).
+    for clauses in _drop_each(query.clauses):
+        yield ast.Query(clauses)
+    for index, clause in enumerate(query.clauses):
+        for variant in _clause_variants(clause):
+            out = list(query.clauses)
+            out[index] = variant
+            yield ast.Query(tuple(out))
+
+
+# ---------------------------------------------------------------------------
+# Expression variants (subtree → child hoisting)
+# ---------------------------------------------------------------------------
+
+# Rebuilders keyed by node type: (expr, children list) → expr, with the
+# child list in exactly the order Expression.children() yields.
+
+
+def _rebuild_slice(expr: ast.ListSlice, kids: List[ast.Expression]) -> ast.ListSlice:
+    index = 1
+    start = end = None
+    if expr.start is not None:
+        start = kids[index]
+        index += 1
+    if expr.end is not None:
+        end = kids[index]
+    return replace(expr, subject=kids[0], start=start, end=end)
+
+
+def _rebuild_case(
+    expr: ast.CaseExpression, kids: List[ast.Expression]
+) -> ast.CaseExpression:
+    index = 0
+    subject = None
+    if expr.subject is not None:
+        subject = kids[index]
+        index += 1
+    alternatives = []
+    for _alt in expr.alternatives:
+        alternatives.append(ast.CaseAlternative(kids[index], kids[index + 1]))
+        index += 2
+    default = kids[index] if expr.default is not None else None
+    return replace(
+        expr,
+        subject=subject,
+        alternatives=tuple(alternatives),
+        default=default,
+    )
+
+
+def _rebuild_comprehension(
+    expr: ast.ListComprehension, kids: List[ast.Expression]
+) -> ast.ListComprehension:
+    index = 1
+    where = projection = None
+    if expr.where is not None:
+        where = kids[index]
+        index += 1
+    if expr.projection is not None:
+        projection = kids[index]
+    return replace(expr, source=kids[0], where=where, projection=projection)
+
+
+_REBUILDERS: Dict[type, Callable[..., ast.Expression]] = {
+    ast.PropertyAccess: lambda e, k: replace(e, subject=k[0]),
+    ast.Unary: lambda e, k: replace(e, operand=k[0]),
+    ast.Binary: lambda e, k: replace(e, left=k[0], right=k[1]),
+    ast.IsNull: lambda e, k: replace(e, operand=k[0]),
+    ast.FunctionCall: lambda e, k: replace(e, args=tuple(k)),
+    ast.ListLiteral: lambda e, k: replace(e, items=tuple(k)),
+    ast.MapLiteral: lambda e, k: replace(
+        e, items=tuple((key, kid) for (key, _old), kid in zip(e.items, k))
+    ),
+    ast.ListIndex: lambda e, k: replace(e, subject=k[0], index=k[1]),
+    ast.ListSlice: _rebuild_slice,
+    ast.CaseExpression: _rebuild_case,
+    ast.ListComprehension: _rebuild_comprehension,
+    ast.LabelsPredicate: lambda e, k: replace(e, subject=k[0]),
+}
+
+
+def _expression_variants(expr: ast.Expression) -> Iterator[ast.Expression]:
+    """One-edit smaller variants: hoist any subtree's child over the subtree."""
+    kids = list(expr.children())
+    for child in kids:
+        yield child
+    rebuild = _REBUILDERS.get(type(expr))
+    if rebuild is None:
+        return
+    for index, child in enumerate(kids):
+        for variant in _expression_variants(child):
+            out = list(kids)
+            out[index] = variant
+            yield rebuild(expr, out)
+
+
+def _clause_expression_variants(clause: ast.Clause) -> Iterator[ast.Clause]:
+    if isinstance(clause, ast.Match) and clause.where is not None:
+        for variant in _expression_variants(clause.where):
+            yield replace(clause, where=variant)
+    elif isinstance(clause, ast.Unwind):
+        for variant in _expression_variants(clause.expression):
+            yield replace(clause, expression=variant)
+    elif isinstance(clause, (ast.With, ast.Return)):
+        for index, item in enumerate(clause.items):
+            for variant in _expression_variants(item.expression):
+                out = list(clause.items)
+                out[index] = replace(item, expression=variant)
+                yield replace(clause, items=tuple(out))
+        for index, order in enumerate(clause.order_by):
+            for variant in _expression_variants(order.expression):
+                out = list(clause.order_by)
+                out[index] = replace(order, expression=variant)
+                yield replace(clause, order_by=tuple(out))
+        if isinstance(clause, ast.With) and clause.where is not None:
+            for variant in _expression_variants(clause.where):
+                yield replace(clause, where=variant)
+
+
+def _expression_level_variants(query: AnyQuery) -> Iterator[AnyQuery]:
+    if isinstance(query, ast.UnionQuery):
+        for variant in _expression_level_variants(query.left):
+            yield ast.UnionQuery(variant, query.right, query.all)
+        for variant in _expression_level_variants(query.right):
+            yield ast.UnionQuery(query.left, variant, query.all)
+        return
+    for index, clause in enumerate(query.clauses):
+        for variant in _clause_expression_variants(clause):
+            out = list(query.clauses)
+            out[index] = variant
+            yield ast.Query(tuple(out))
+
+
+# ---------------------------------------------------------------------------
+# WHERE conjunct ddmin
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(expr: ast.Expression) -> List[ast.Expression]:
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _conjoin(parts: List[ast.Expression]) -> Optional[ast.Expression]:
+    if not parts:
+        return None
+    out = parts[0]
+    for part in parts[1:]:
+        out = ast.Binary("AND", out, part)
+    return out
+
+
+class _Reducer:
+    """Greedy fixpoint driver holding the current best (AST, text)."""
+
+    def __init__(
+        self,
+        query: AnyQuery,
+        text: str,
+        oracle: ReductionOracle,
+        graph: Optional[Dict[str, Any]],
+    ):
+        self.query = query
+        self.text = text
+        self.oracle = oracle
+        self.graph = graph
+
+    def _commit(self, candidate: AnyQuery) -> bool:
+        """Accept *candidate* if shorter, well-formed, and signature-preserving."""
+        if self.oracle.exhausted:
+            return False  # skip the print/parse round-trip too
+        try:
+            text = print_query(candidate)
+        except Exception:
+            return False
+        if len(text) >= len(self.text):
+            return False
+        parsed = roundtrips(text)
+        if parsed is None:
+            return False
+        if not self.oracle.accepts(graph=self.graph, query=text):
+            return False
+        self.query, self.text = parsed, text
+        return True
+
+    def greedy(self, variants: Callable[[AnyQuery], Iterator[AnyQuery]]) -> bool:
+        """First-improvement loop over *variants* with positional advancement.
+
+        After a commit the variant stream is re-enumerated from the new
+        best, but the scan resumes at the commit position instead of index
+        zero (C-Reduce's pass-state advancement): candidates before it were
+        already rejected against a superset query and re-testing them every
+        commit turns the pass quadratic.  Anything a stale skip misses is
+        recovered by the caller's outer fixpoint loop, which re-runs the
+        pass from position zero until nothing changes.
+        """
+        improved = False
+        index = 0
+        while True:
+            committed = False
+            for position, candidate in enumerate(variants(self.query)):
+                if position < index:
+                    continue
+                if self._commit(candidate):
+                    index = position
+                    improved = committed = True
+                    break
+            if not committed:
+                return improved
+
+    def where_ddmin(self) -> bool:
+        """Delta-debug every WHERE's top-level AND chain as an item list."""
+        improved = False
+        for subquery_index, subquery in enumerate(_flatten(self.query)):
+            for clause_index, clause in enumerate(subquery.clauses):
+                if (
+                    not isinstance(clause, (ast.Match, ast.With))
+                    or clause.where is None
+                ):
+                    continue
+                parts = _conjuncts(clause.where)
+                if len(parts) < 2:
+                    continue
+
+                def rebuilt(keep: List[ast.Expression]) -> AnyQuery:
+                    new_clause = replace(clause, where=_conjoin(keep))
+                    return _replace_clause(
+                        self.query, subquery_index, clause_index, new_clause
+                    )
+
+                def check(keep: List[ast.Expression]) -> bool:
+                    if self.oracle.exhausted:
+                        return False
+                    candidate = rebuilt(keep)
+                    text = print_query(candidate)
+                    if len(text) >= len(self.text):
+                        return False
+                    return roundtrips(text) is not None and self.oracle.accepts(
+                        graph=self.graph, query=text
+                    )
+
+                kept = ddmin(parts, check)
+                if len(kept) < len(parts):
+                    candidate = rebuilt(kept)
+                    if self._commit(candidate):
+                        improved = True
+        return improved
+
+
+def _flatten(query: AnyQuery) -> List[ast.Query]:
+    if isinstance(query, ast.UnionQuery):
+        return _flatten(query.left) + [query.right]
+    return [query]
+
+
+def _replace_clause(
+    query: AnyQuery, subquery_index: int, clause_index: int, clause: ast.Clause
+) -> AnyQuery:
+    """Rebuild a union tree with one clause of one branch substituted."""
+    if isinstance(query, ast.UnionQuery):
+        left_count = len(_flatten(query.left))
+        if subquery_index < left_count:
+            return ast.UnionQuery(
+                _replace_clause(query.left, subquery_index, clause_index, clause),
+                query.right,
+                query.all,
+            )
+        right = _replace_clause(query.right, 0, clause_index, clause)
+        return ast.UnionQuery(query.left, right, query.all)
+    clauses = list(query.clauses)
+    clauses[clause_index] = clause
+    return ast.Query(tuple(clauses))
+
+
+def reduce_query(
+    text: str,
+    oracle: ReductionOracle,
+    graph: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Minimize a query's text while preserving its triage signature.
+
+    *graph* fixes the graph snapshot candidates replay against (the graph
+    shrinker's current best under the cooperating-pass protocol).  Returns
+    the reduced text — the input itself when nothing smaller reproduces.
+    """
+    query = roundtrips(text)
+    if query is None:
+        # The recorded text is outside the round-trip fragment (it should
+        # never be — the synthesizer prints through the same printer); play
+        # safe and leave it untouched.
+        return text
+    reducer = _Reducer(query, text, oracle, graph)
+    changed = True
+    while changed:
+        # Cheapest-first ordering: WHERE-conjunct ddmin and expression
+        # hoisting shed most of the text at a few ms per candidate, which
+        # makes the (per-candidate much pricier) structural scan run over a
+        # far smaller query.  Structural-first costs ~5x more replays for
+        # the same fixpoint.
+        changed = reducer.where_ddmin()
+        changed |= reducer.greedy(_expression_level_variants)
+        changed |= reducer.greedy(_structural_variants)
+    return reducer.text

@@ -321,3 +321,17 @@ class CampaignKernel:
             signature=signature,
             path=str(path),
         )
+        if self.recorder.auto_reduce and self.recorder.reductions:
+            # The recorder minimized the bundle inline; surface the shrink
+            # stats on the event stream so reports/resume can see them.
+            stats = self.recorder.reductions[-1]
+            self.events.emit(
+                "reduction",
+                tester=tester.name,
+                engine=report.engine,
+                seed=seed,
+                signature=signature,
+                path=str(path),
+                min_path=stats.get("min_path"),
+                stats=stats,
+            )

@@ -85,7 +85,7 @@ def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
     """
     (tester_name, engine_name, seed, budget_seconds, gate_scale,
      max_queries, record_queries, record_metrics,
-     record_coverage, record_triage, bundle_dir) = spec
+     record_coverage, record_triage, bundle_dir, reduce_bundles) = spec
     from repro.core.reporting import campaign_to_dict
     from repro.experiments.campaign import make_tester
     from repro.gdb.engines import EngineSpec
@@ -102,7 +102,7 @@ def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
         # directory never contend for a file.
         from repro.obs.recorder import FlightRecorder
 
-        recorder = FlightRecorder(bundle_dir)
+        recorder = FlightRecorder(bundle_dir, auto_reduce=reduce_bundles)
 
     def run() -> "CampaignResult":
         return CampaignKernel(
@@ -144,6 +144,7 @@ class ParallelCampaignRunner:
         record_coverage: bool = False,
         record_triage: bool = False,
         bundle_dir: Optional[Union[str, Path]] = None,
+        reduce_bundles: bool = False,
     ):
         self.jobs = max(1, int(jobs))
         self.events_path = Path(events_path) if events_path else None
@@ -152,6 +153,7 @@ class ParallelCampaignRunner:
         self.record_coverage = record_coverage
         self.record_triage = record_triage
         self.bundle_dir = Path(bundle_dir) if bundle_dir else None
+        self.reduce_bundles = reduce_bundles
 
     def run(
         self,
@@ -264,7 +266,8 @@ class ParallelCampaignRunner:
             (cell.tester, cell.engine, cell.seed, cell.budget_seconds,
              cell.gate_scale, cell.max_queries, self.record_queries,
              self.record_metrics, self.record_coverage, self.record_triage,
-             str(self.bundle_dir) if self.bundle_dir else None)
+             str(self.bundle_dir) if self.bundle_dir else None,
+             self.reduce_bundles)
             for cell in cells
         ]
 

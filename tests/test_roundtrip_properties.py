@@ -150,3 +150,36 @@ class TestQueryRoundTrip:
         printed = print_query(query)
         reparsed = parse_query(printed)
         assert print_query(reparsed) == printed
+
+
+class TestSynthesizedQueryRoundTrip:
+    """Round-trip idempotence over the *real* synthesizer's output.
+
+    Hypothesis covers the AST constructors; this covers the query shapes
+    the campaigns actually emit — the population the query reducer's
+    printer→parser round-trip check (:func:`repro.reduce.roundtrips`) must
+    hold on.  200 queries across 10 seeds and both structured/schema-free
+    dialect configs.
+    """
+
+    def test_parse_print_idempotent_on_synthesized_queries(self):
+        import random
+
+        from repro.core import QuerySynthesizer
+        from repro.core.runner import synthesizer_config_for
+        from repro.gdb import create_engine
+        from repro.graph import GraphGenerator
+
+        checked = 0
+        for seed in range(10):
+            _schema, graph = GraphGenerator(seed=seed).generate_with_schema()
+            engine = create_engine("neo4j" if seed % 2 else "kuzu")
+            synthesizer = QuerySynthesizer(
+                graph, rng=random.Random(seed),
+                config=synthesizer_config_for(engine),
+            )
+            for _ in range(20):
+                printed = print_query(synthesizer.synthesize().query)
+                assert print_query(parse_query(printed)) == printed
+                checked += 1
+        assert checked == 200
