@@ -5,16 +5,19 @@ Usage (also available as ``python -m repro``):
     repro campaign --engine falkordb --minutes 5 [--tester GQS] [--out r.json]
                    [--seeds K --jobs N] [--events LOG] [--resume LOG]
                    [--metrics] [--coverage] [--triage] [--bundles DIR]
-                   [--reduce]
+                   [--reduce] [--cell-timeout S] [--cell-retries N]
+                   [--chaos P,SEED] [--step-budget S]
     repro compare  --engine falkordb --minutes 2 [--jobs N] [--resume LOG]
                    [--metrics] [--coverage] [--triage] [--bundles DIR]
-                   [--reduce]
+                   [--reduce] [--cell-timeout S] [--cell-retries N]
+                   [--chaos P,SEED] [--step-budget S]
     repro stats    events.jsonl
     repro trace    events.jsonl
     repro coverage events.jsonl
     repro bugs     events.jsonl
     repro replay   bundle.json [bundle2.json ...]
     repro reduce   bundle.json|DIR [...] [--jobs N] [--replay-budget R]
+                   [--step-budget S]
     repro table    2|3|4|5|6
     repro figure   10|11|12|13|14|15|18
     repro synthesize --seed 7 [--engine neo4j]
@@ -38,6 +41,15 @@ through the delta-debugging subsystem (``*.min.json``, :mod:`repro.reduce`)
 — ``repro reduce`` runs the same minimization after the fact over existing
 bundles or whole bundle directories.  None of these perturb the RNG streams
 — results are byte-identical with or without the flags.
+
+Grid robustness (:mod:`repro.runtime.supervisor`): ``--cell-timeout``
+watchdogs each cell, ``--cell-retries`` retries failed cells with
+deterministic backoff before quarantining them (the grid completes with
+explicit holes), ``--step-budget`` caps evaluation steps per judgement
+(a blown budget is a ``harness_error`` event, never a false bug), and
+``--chaos P[,SEED]`` deterministically injects worker crashes/hangs/errors
+and event-log tail truncation to exercise the supervisor itself.  See
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -48,6 +60,31 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_supervisor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Cell-supervisor robustness flags shared by campaign and compare."""
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog per grid cell; a hung cell is "
+             "terminated and counted as a failed attempt",
+    )
+    parser.add_argument(
+        "--cell-retries", type=int, default=0, metavar="N",
+        help="retry a failed cell up to N times (same seed, exponential "
+             "backoff) before quarantining it",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="P[,SEED]",
+        help="deterministically inject worker crashes/hangs/errors and "
+             "event-log tail truncation with probability P (supervisor "
+             "self-test; campaign results are unaffected)",
+    )
+    parser.add_argument(
+        "--step-budget", type=int, default=None, metavar="S",
+        help="evaluation step budget per judgement; a blown budget is "
+             "recorded as a harness_error, never a bug",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--reduce", action="store_true",
                           help="minimize each recorded bundle (*.min.json); "
                                "requires --bundles")
+    _add_supervisor_arguments(campaign)
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
     compare.add_argument("--engine", default="falkordb",
@@ -115,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--reduce", action="store_true",
                          help="minimize each recorded bundle (*.min.json); "
                               "requires --bundles")
+    _add_supervisor_arguments(compare)
 
     stats = sub.add_parser(
         "stats", help="render metrics from a recorded event log"
@@ -158,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay-budget", type=int, default=None, metavar="R",
         help="cap replica executions per bundle (default: unbounded)",
     )
+    reduce.add_argument(
+        "--step-budget", type=int, default=None, metavar="S",
+        help="evaluation step budget per replay (a blown budget rejects "
+             "the candidate instead of hanging the reduction)",
+    )
 
     table = sub.add_parser("table", help="regenerate a table from the paper")
     table.add_argument("id", type=int, choices=[2, 3, 4, 5, 6])
@@ -197,9 +241,14 @@ def _cmd_campaign(args) -> int:
     if args.reduce and not args.bundles:
         print("--reduce requires --bundles DIR", file=sys.stderr)
         return 2
+    chaos = _parse_chaos(args)
+    if args.chaos and chaos is None:
+        return 2
     budget_seconds = args.minutes * 60.0
 
-    if args.seeds <= 1 and not args.resume:
+    supervised = (args.cell_timeout is not None or args.cell_retries
+                  or chaos is not None)
+    if args.seeds <= 1 and not args.resume and not supervised:
         from contextlib import nullcontext
 
         from repro.obs import observed
@@ -216,12 +265,14 @@ def _cmd_campaign(args) -> int:
                 seed=args.seed, gate_scale=args.gate_scale, events=events,
                 record_coverage=args.coverage, record_triage=args.triage,
                 bundle_dir=args.bundles, reduce_bundles=args.reduce,
+                step_budget=args.step_budget,
             )
         if events is not None:
             events.close()
         results = {(args.tester, args.engine, args.seed): result}
     else:
-        # Replicate fan-out: K derived seeds over N workers, resumable.
+        # Replicate fan-out: K derived seeds over N workers, resumable,
+        # supervised (sandbox, watchdog, retries, quarantine, chaos).
         results = run_campaign_grid(
             (args.tester,), (args.engine,),
             seeds=range(args.seed, args.seed + args.seeds),
@@ -231,6 +282,8 @@ def _cmd_campaign(args) -> int:
             record_metrics=args.metrics, record_coverage=args.coverage,
             record_triage=args.triage, bundle_dir=args.bundles,
             reduce_bundles=args.reduce,
+            cell_timeout=args.cell_timeout, cell_retries=args.cell_retries,
+            chaos=chaos, step_budget=args.step_budget,
         )
 
     all_faults: List[str] = []
@@ -281,6 +334,9 @@ def _cmd_compare(args) -> int:
     if args.reduce and not args.bundles:
         print("--reduce requires --bundles DIR", file=sys.stderr)
         return 2
+    chaos = _parse_chaos(args)
+    if args.chaos and chaos is None:
+        return 2
     grid = run_campaign_grid(
         TESTER_NAMES, (args.engine,), seeds=(args.seed,),
         budget_seconds=args.minutes * 60.0, jobs=args.jobs,
@@ -288,6 +344,8 @@ def _cmd_compare(args) -> int:
         record_metrics=args.metrics, record_coverage=args.coverage,
         record_triage=args.triage, bundle_dir=args.bundles,
         reduce_bundles=args.reduce,
+        cell_timeout=args.cell_timeout, cell_retries=args.cell_retries,
+        chaos=chaos, step_budget=args.step_budget,
     )
     by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
     # "distinct" deduplicates the raw report stream by bug signature —
@@ -309,6 +367,19 @@ def _cmd_compare(args) -> int:
             f"{entry['reports']:8d} {entry['distinct']:9d}"
         )
     return 0
+
+
+def _parse_chaos(args):
+    """Parse --chaos (None when absent or invalid; invalid prints why)."""
+    if not args.chaos:
+        return None
+    from repro.runtime import ChaosConfig
+
+    try:
+        return ChaosConfig.parse(args.chaos)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
 
 
 def _load_events(path: str) -> Optional[list]:
@@ -372,7 +443,13 @@ def _cmd_replay(args) -> int:
         if not Path(path).exists():
             print(f"no such bundle: {path}", file=sys.stderr)
             return 2
-        outcome = replay_bundle(path)
+        try:
+            outcome = replay_bundle(path)
+        except ValueError as exc:
+            # Malformed/truncated bundle JSON: one-line diagnostic naming
+            # the file and parse position, not an unhandled traceback.
+            print(str(exc), file=sys.stderr)
+            return 2
         print(f"== {path} ==")
         print(outcome.describe())
         if not outcome.reproduced:
@@ -405,10 +482,23 @@ def _cmd_reduce(args) -> int:
         if not Path(source).exists():
             print(f"no such bundle or directory: {source}", file=sys.stderr)
             return 2
-    if not iter_bundle_paths(args.sources):
+    paths = iter_bundle_paths(args.sources)
+    if not paths:
         print("no bundles found", file=sys.stderr)
         return 2
-    runner = ReductionRunner(jobs=args.jobs, replay_budget=args.replay_budget)
+    # Pre-flight every bundle so a malformed file is one diagnostic line
+    # up front, not a traceback out of a worker process mid-reduction.
+    from repro.obs.recorder import load_bundle
+
+    for path in paths:
+        try:
+            load_bundle(path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    runner = ReductionRunner(jobs=args.jobs,
+                             replay_budget=args.replay_budget,
+                             step_budget=args.step_budget)
     failures = 0
     for outcome in runner.run(args.sources):
         if not outcome.reproduced:

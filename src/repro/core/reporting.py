@@ -72,6 +72,7 @@ def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
         "reports": [report_to_dict(report) for report in result.reports],
         "timeline": [[when, fault_id] for when, fault_id in result.timeline],
         "trigger_records": result.trigger_records,
+        "harness_errors": result.harness_errors,
     }
 
 
@@ -82,6 +83,7 @@ def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
     result.reports = [report_from_dict(item) for item in data["reports"]]
     result.timeline = [(when, fault_id) for when, fault_id in data["timeline"]]
     result.trigger_records = list(data.get("trigger_records", []))
+    result.harness_errors = data.get("harness_errors", 0)
     return result
 
 

@@ -1,12 +1,14 @@
 """Reference Cypher execution engine."""
 
 from repro.engine.binding import BindingTable, ResultSet, Row
+from repro.engine.envelope import ENVELOPE, ResourceEnvelope, evaluation_budget
 from repro.engine.errors import (
     CypherError,
     CypherRuntimeError,
     CypherSyntaxError,
     CypherTypeError,
     DatabaseCrash,
+    EvaluationBudgetExceeded,
     ResourceExhausted,
 )
 from repro.engine.evaluator import Evaluator, has_aggregate
@@ -27,5 +29,9 @@ __all__ = [
     "CypherRuntimeError",
     "CypherTypeError",
     "DatabaseCrash",
+    "EvaluationBudgetExceeded",
     "ResourceExhausted",
+    "ENVELOPE",
+    "ResourceEnvelope",
+    "evaluation_budget",
 ]

@@ -1,0 +1,79 @@
+"""The evaluation resource envelope: a step budget for runaway queries.
+
+A synthesized query can be *semantically* fine and still be operationally
+pathological — a variable-length pattern that makes the matcher enumerate an
+exponential path set, or an expression tree deep enough to exhaust the
+interpreter stack.  In a long unattended campaign such a query must cost one
+judgement, not the campaign: the kernel wraps every ``tester.judge`` call in
+an **evaluation budget**, and the evaluator/matcher hot paths charge one
+step per unit of work.  Exceeding the budget raises the typed
+:class:`~repro.engine.errors.EvaluationBudgetExceeded`.
+
+Two properties matter:
+
+* **Not a Cypher error.**  ``EvaluationBudgetExceeded`` deliberately does
+  *not* subclass :class:`~repro.graph.values.CypherError`, so tester oracles
+  (which catch engine errors and turn them into discrepancy reports) never
+  see it — it propagates to the campaign kernel, which records it as a
+  ``harness_error``, never as a bug.
+* **Zero cost when off.**  The process-wide :data:`ENVELOPE` has
+  ``limit=None`` by default; hot paths guard with one attribute load and a
+  branch, mirroring :data:`repro.obs.PROBE`.  Enabling or exhausting a
+  budget draws no randomness, so campaign RNG streams are unchanged — only
+  judgements that blow the budget differ, and those differ deterministically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.engine.errors import EvaluationBudgetExceeded
+
+__all__ = ["ResourceEnvelope", "ENVELOPE", "evaluation_budget"]
+
+
+class ResourceEnvelope:
+    """Process-wide evaluation step budget (disabled when ``limit`` is None)."""
+
+    __slots__ = ("limit", "steps")
+
+    def __init__(self) -> None:
+        self.limit: Optional[int] = None
+        self.steps: int = 0
+
+    def charge(self, n: int = 1) -> None:
+        """Consume *n* steps; raises once the budget is exhausted.
+
+        Callers guard with ``if ENVELOPE.limit is not None`` so the disabled
+        path never pays the call.
+        """
+        self.steps += n
+        if self.steps > self.limit:  # type: ignore[operator]
+            raise EvaluationBudgetExceeded(
+                f"evaluation step budget exceeded "
+                f"({self.steps} > {self.limit} steps)"
+            )
+
+
+#: The process-wide envelope every hot path checks (cf. ``repro.obs.PROBE``).
+ENVELOPE = ResourceEnvelope()
+
+
+@contextmanager
+def evaluation_budget(limit: Optional[int]) -> Iterator[ResourceEnvelope]:
+    """Scope an evaluation step budget around one judgement or replay.
+
+    ``limit=None`` is a no-op (the common case costs nothing).  Budgets
+    nest: the inner scope's counter starts fresh and the outer scope's
+    state is restored on exit, even when the inner budget was blown.
+    """
+    if limit is None:
+        yield ENVELOPE
+        return
+    previous = (ENVELOPE.limit, ENVELOPE.steps)
+    ENVELOPE.limit, ENVELOPE.steps = int(limit), 0
+    try:
+        yield ENVELOPE
+    finally:
+        ENVELOPE.limit, ENVELOPE.steps = previous

@@ -10,6 +10,7 @@ __all__ = [
     "CypherRuntimeError",
     "CypherTypeError",
     "DatabaseCrash",
+    "EvaluationBudgetExceeded",
     "ResourceExhausted",
 ]
 
@@ -36,4 +37,18 @@ class ResourceExhausted(CypherError):
 
     The real Memgraph bug of Figure 9 hangs and consumes >50 GB; the
     simulation raises this instead of actually hanging the test process.
+    """
+
+
+class EvaluationBudgetExceeded(RuntimeError):
+    """The evaluation resource envelope was blown (step budget / recursion).
+
+    Deliberately **not** a :class:`CypherError`: tester oracles catch engine
+    errors and turn them into discrepancy reports, but a blown budget is a
+    *harness* condition, not target behavior.  It must propagate past every
+    oracle to the campaign kernel, which records it as a ``harness_error``
+    — never as a (false) bug.  Raised by
+    :class:`repro.engine.envelope.ResourceEnvelope` when the step budget is
+    exhausted, and by the engines when a deep AST trips Python's recursion
+    limit mid-evaluation.
     """

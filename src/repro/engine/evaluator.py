@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional
 
 from repro.cypher import ast
 from repro.cypher.functions import FunctionError, call_function, is_aggregate
+from repro.engine.envelope import ENVELOPE
 from repro.engine.errors import CypherRuntimeError, CypherTypeError
 from repro.graph import values as V
 from repro.graph.model import Node, PropertyGraph, Relationship
@@ -62,6 +63,10 @@ class Evaluator:
 
     def evaluate(self, expr: ast.Expression, row: Dict[str, Any]) -> Any:
         """Evaluate *expr* in the environment *row*; returns a Cypher value."""
+        if ENVELOPE.limit is not None:
+            # One step per top-level expression evaluation: the unit the
+            # campaign's resource envelope budgets runaway queries in.
+            ENVELOPE.charge()
         if PROBE.on:
             self.profile_calls += 1
         handler = _DISPATCH.get(expr.__class__)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Set, Tuple
 
 from repro.cypher import ast
+from repro.engine.envelope import ENVELOPE
 from repro.engine.errors import CypherTypeError
 from repro.engine.evaluator import Evaluator
 from repro.graph import values as V
@@ -96,6 +97,11 @@ class Matcher:
         chain_nodes: List[Node],
         chain_rels: List[Relationship],
     ) -> Iterator[Tuple[Dict[str, Any], Set[int]]]:
+        if ENVELOPE.limit is not None:
+            # One step per partial-chain extension: variable-length patterns
+            # blow up here, not in the evaluator, so the resource envelope
+            # must meter this loop too.
+            ENVELOPE.charge()
         if rel_index == len(pattern.relationships):
             if pattern.path_variable:
                 bindings = dict(bindings)

@@ -123,6 +123,7 @@ def run_tool_campaign(
     record_triage: bool = False,
     bundle_dir: Optional[Union[str, Path]] = None,
     reduce_bundles: bool = False,
+    step_budget: Optional[int] = None,
 ) -> Optional[CampaignResult]:
     """Run one tool against one engine through the shared campaign kernel;
     None when unsupported.
@@ -148,6 +149,7 @@ def run_tool_campaign(
         record_coverage=record_coverage,
         record_triage=record_triage,
         recorder=recorder,
+        step_budget=step_budget,
     )
     return kernel.run(
         tester, engine, budget_seconds, seed=seed, max_queries=max_queries
@@ -211,6 +213,12 @@ def run_campaign_grid(
     record_triage: bool = False,
     bundle_dir: Optional[Union[str, Path]] = None,
     reduce_bundles: bool = False,
+    cell_timeout: Optional[float] = None,
+    cell_retries: int = 0,
+    retry_backoff: Optional[float] = None,
+    quarantine: bool = True,
+    chaos=None,
+    step_budget: Optional[int] = None,
 ) -> Dict[CellKey, CampaignResult]:
     """Run a full campaign grid, optionally parallel and resumable.
 
@@ -223,6 +231,13 @@ def run_campaign_grid(
     on per-cell feature coverage, bug-signature triage, and the flight
     recorder, and ``reduce_bundles`` minimizes every recorded bundle in
     place (all RNG-stream invariant).
+
+    Robustness (:mod:`repro.runtime.supervisor`): ``cell_timeout`` hard-
+    terminates hung cells, ``cell_retries``/``retry_backoff`` retry failed
+    cells deterministically, ``quarantine`` lets the grid complete with
+    explicit holes after exhaustion, ``chaos`` injects deterministic
+    harness faults, and ``step_budget`` caps evaluation steps per
+    judgement (blown budgets surface as ``harness_error`` events).
     """
     cells = campaign_grid_cells(
         testers,
@@ -237,6 +252,9 @@ def run_campaign_grid(
         jobs=jobs, events_path=events_path, record_metrics=record_metrics,
         record_coverage=record_coverage, record_triage=record_triage,
         bundle_dir=bundle_dir, reduce_bundles=reduce_bundles,
+        cell_timeout=cell_timeout, cell_retries=cell_retries,
+        retry_backoff=retry_backoff, quarantine=quarantine, chaos=chaos,
+        step_budget=step_budget,
     )
     return runner.run(cells, resume_path=resume_path)
 

@@ -27,6 +27,7 @@ from repro.engine.errors import (
     CypherRuntimeError,
     CypherTypeError,
     DatabaseCrash,
+    EvaluationBudgetExceeded,
 )
 from repro.engine.executor import Executor, default_procedures
 from repro.gdb.catalog import faults_for
@@ -211,10 +212,10 @@ class GraphDatabase:
     def execute(self, query: AnyQuery) -> ResultSet:
         """Execute *query*; raises CypherError subclasses on failure."""
         if not PROBE.on:
-            return self._execute(query)
+            return self._execute_guarded(query)
         start = perf_counter()
         try:
-            return self._execute(query)
+            return self._execute_guarded(query)
         finally:
             metrics = PROBE.metrics
             metrics.counter("engine.queries", engine=self.name).inc()
@@ -241,6 +242,20 @@ class GraphDatabase:
                         evaluator.profile_calls
                     )
                     evaluator.profile_calls = 0
+
+    def _execute_guarded(self, query: AnyQuery) -> ResultSet:
+        # Recursion guard of the evaluation resource envelope: a synthesized
+        # AST deep enough to exhaust the interpreter stack is a harness
+        # condition, not engine behavior — surface it as the typed budget
+        # error so the campaign kernel records a ``harness_error``, never a
+        # false bug.  (Raising *after* the stack unwinds is safe: Python
+        # leaves headroom inside the except block.)
+        try:
+            return self._execute(query)
+        except RecursionError as exc:
+            raise EvaluationBudgetExceeded(
+                f"recursion limit exhausted during evaluation: {exc}"
+            ) from exc
 
     def _execute(self, query: AnyQuery) -> ResultSet:
         if self._executor is None or self.graph is None:

@@ -222,12 +222,24 @@ class FlightRecorder:
 
 
 def load_bundle(path: Union[str, Path]) -> Dict[str, Any]:
-    """Read one flight-recorder bundle, validating the format marker."""
-    bundle = json.loads(Path(path).read_text(encoding="utf-8"))
-    if bundle.get("format") != BUNDLE_FORMAT:
+    """Read one flight-recorder bundle, validating the format marker.
+
+    A malformed or truncated file raises :class:`ValueError` with a
+    one-line diagnostic naming the file and the parse position, so CLI
+    callers can report it and exit instead of dumping a traceback.
+    """
+    try:
+        bundle = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
         raise ValueError(
-            f"{path}: not a flight-recorder bundle "
-            f"(format={bundle.get('format')!r})"
+            f"{path}: malformed bundle JSON: {exc.msg} at "
+            f"line {exc.lineno} column {exc.colno} (char {exc.pos})"
+        ) from None
+    if not isinstance(bundle, dict) or bundle.get("format") != BUNDLE_FORMAT:
+        kind = (bundle.get("format") if isinstance(bundle, dict)
+                else type(bundle).__name__)
+        raise ValueError(
+            f"{path}: not a flight-recorder bundle (format={kind!r})"
         )
     return bundle
 

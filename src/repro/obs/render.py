@@ -119,8 +119,49 @@ def _counter_table(
     return lines
 
 
+def _render_supervisor(events: List[Event]) -> List[str]:
+    """Supervisor health lines from the raw event stream.
+
+    Works without ``--metrics``: failure/retry/quarantine accounting is
+    event-based, so any grid log renders its robustness story.
+    """
+    failed_by_kind: Dict[str, int] = {}
+    retries = quarantined = harness_errors = truncations = 0
+    for event in events:
+        kind = event.get("event")
+        if kind == "cell_failed":
+            failure_kind = event.get("kind", "exception")
+            failed_by_kind[failure_kind] = (
+                failed_by_kind.get(failure_kind, 0) + 1
+            )
+        elif kind == "cell_retry":
+            retries += 1
+        elif kind == "cell_quarantined":
+            quarantined += 1
+        elif kind == "harness_error":
+            harness_errors += 1
+        elif kind == "chaos":
+            truncations += 1
+    lines: List[str] = []
+    for failure_kind in sorted(failed_by_kind):
+        lines.append(
+            f"  failed attempts ({failure_kind}):"
+            f"{failed_by_kind[failure_kind]:>9d}"
+        )
+    if retries:
+        lines.append(f"  retries scheduled: {retries:>15d}")
+    if quarantined:
+        lines.append(f"  cells quarantined: {quarantined:>15d}")
+    if harness_errors:
+        lines.append(f"  harness errors (budget): {harness_errors:>9d}")
+    if truncations:
+        lines.append(f"  chaos log truncations: {truncations:>11d}")
+    return lines
+
+
 def render_stats(events: Iterable[Event]) -> str:
     """Per-stage time/sim histograms + query accounting for an event log."""
+    events = list(events)
     snapshot = merged_snapshot_from_events(events)
     lines: List[str] = []
 
@@ -174,6 +215,12 @@ def render_stats(events: Iterable[Event]) -> str:
         lines.append("== counters ==")
         for key in sorted(plain):
             lines.append(f"  {key:<44s} {plain[key]}")
+        lines.append("")
+
+    supervisor_lines = _render_supervisor(events)
+    if supervisor_lines:
+        lines.append("== supervisor ==")
+        lines.extend(supervisor_lines)
         lines.append("")
 
     if not lines:

@@ -54,7 +54,10 @@ class ReductionOracle:
     """Signature-preserving accept/reject test for reduction candidates."""
 
     def __init__(
-        self, bundle: Dict[str, Any], replay_budget: Optional[int] = None
+        self,
+        bundle: Dict[str, Any],
+        replay_budget: Optional[int] = None,
+        step_budget: Optional[int] = None,
     ):
         if bundle.get("format") != BUNDLE_FORMAT:
             raise ValueError(
@@ -66,6 +69,13 @@ class ReductionOracle:
         #: current best — still signature-preserving, still deterministic
         #: (the cap cuts the same candidate in every run).
         self.replay_budget = replay_budget
+        #: Optional evaluation step budget per replay side — the same
+        #: resource envelope the campaign kernel uses.  A candidate whose
+        #: replay blows the budget yields an ``EvaluationBudgetExceeded``
+        #: error outcome, which cannot match the recorded signature, so
+        #: pathological candidates are rejected instead of hanging the
+        #: reduction (deterministically: the envelope draws no randomness).
+        self.step_budget = step_budget
         self.signature = bundle.get("signature")
         self.fault_id = bundle.get("fault_id")
         self._expected_shape = failure_shape(bundle.get("expected", {}))
@@ -110,10 +120,30 @@ class ReductionOracle:
             candidate["graph"] = graph
         if query is not None:
             candidate["query"] = query
-        expected = _execute_side(candidate, faults_enabled=False)
-        actual = _execute_side(candidate, faults_enabled=True)
+        expected = self._side(candidate, faults_enabled=False)
+        actual = self._side(candidate, faults_enabled=True)
         self.replays += 2
         return {"expected": expected, "actual": actual}
+
+    def _side(
+        self, candidate: Dict[str, Any], *, faults_enabled: bool
+    ) -> Dict[str, Any]:
+        """One replay side under the evaluation resource envelope."""
+        from repro.engine.envelope import evaluation_budget
+        from repro.engine.errors import EvaluationBudgetExceeded
+
+        try:
+            with evaluation_budget(self.step_budget):
+                return _execute_side(candidate,
+                                     faults_enabled=faults_enabled)
+        except EvaluationBudgetExceeded as exc:
+            # A blown budget is an error outcome with no fired fault —
+            # guaranteed to miss the recorded signature, so the candidate
+            # is rejected without special-casing in the contract.
+            return {
+                "error": f"EvaluationBudgetExceeded: {exc}",
+                "fault_id": None,
+            }
 
     def accepts(
         self,

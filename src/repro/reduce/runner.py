@@ -19,15 +19,19 @@ task, with the same fork/spawn discipline as the campaign grid runner.
 from __future__ import annotations
 
 import json
-import multiprocessing
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.obs.recorder import _execute_side, load_bundle
+from repro.obs.recorder import load_bundle
 from repro.reduce.graph import graph_sizes, shrink_graph
 from repro.reduce.oracle import ReductionOracle
 from repro.reduce.query import reduce_query
+from repro.runtime.supervisor import (
+    WORKER_RECURSION_LIMIT,
+    _init_worker,
+    mp_context,
+)
 
 __all__ = [
     "ReductionOutcome",
@@ -102,6 +106,7 @@ def reduce_bundle(
     write: bool = True,
     min_path: Optional[Union[str, Path]] = None,
     replay_budget: Optional[int] = None,
+    step_budget: Optional[int] = None,
 ) -> ReductionOutcome:
     """Minimize one repro bundle; optionally write the ``*.min.json``.
 
@@ -111,7 +116,9 @@ def reduce_bundle(
     default ``<bundle>.min.json`` sibling; passing a dict as *source*
     requires an explicit *min_path* to write.  *replay_budget* caps replica
     executions (see :class:`ReductionOracle`) — reduction degrades to
-    best-so-far, never to an unreproducible output.
+    best-so-far, never to an unreproducible output.  *step_budget* bounds
+    evaluation steps per replay through the shared resource envelope, so a
+    pathological candidate costs one rejected check, not a hung reduction.
     """
     if isinstance(source, dict):
         bundle, source_name = source, "<memory>"
@@ -121,7 +128,8 @@ def reduce_bundle(
         if min_path is None and write:
             min_path = min_path_for(source)
 
-    oracle = ReductionOracle(bundle, replay_budget=replay_budget)
+    oracle = ReductionOracle(bundle, replay_budget=replay_budget,
+                             step_budget=step_budget)
     outcome = ReductionOutcome(
         source=source_name,
         signature=oracle.signature,
@@ -149,11 +157,12 @@ def reduce_bundle(
     minimized = dict(bundle)
     minimized["graph"] = graph
     minimized["query"] = query
-    # Recompute both sides through the replay procedure itself, so the
-    # minimized bundle is — like the original — reproducible by
-    # construction (`repro replay foo.min.json`).
-    minimized["expected"] = _execute_side(minimized, faults_enabled=False)
-    minimized["actual"] = _execute_side(minimized, faults_enabled=True)
+    # Recompute both sides through the replay procedure itself (under the
+    # same step budget as the oracle's checks), so the minimized bundle is
+    # — like the original — reproducible by construction
+    # (`repro replay foo.min.json`).
+    minimized["expected"] = oracle._side(minimized, faults_enabled=False)
+    minimized["actual"] = oracle._side(minimized, faults_enabled=True)
     minimized["discrepant"] = minimized["expected"] != minimized["actual"]
     oracle.replays += 2
 
@@ -198,18 +207,24 @@ def iter_bundle_paths(sources: Iterable[Union[str, Path]]) -> List[Path]:
     return sorted(set(paths))
 
 
-def _reduce_path(task: Tuple[str, Optional[int]]) -> Dict[str, Any]:
+def _reduce_path(
+    task: Tuple[str, Optional[int], Optional[int]]
+) -> Dict[str, Any]:
     """Worker entry point: reduce one bundle file, return the stats dict."""
     import sys
 
-    path, replay_budget = task
+    path, replay_budget, step_budget = task
     # Candidate queries parse recursively and the printer's canonical
     # parenthesization nests deeply; forked workers can start with most of
-    # the default limit already consumed by the parent's stack.
+    # the default limit already consumed by the parent's stack.  Pool
+    # workers get the same raise from the shared ``_init_worker``; this
+    # inline raise covers the jobs=1 path.
     limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(limit, 10_000))
+    sys.setrecursionlimit(max(limit, WORKER_RECURSION_LIMIT))
     try:
-        return reduce_bundle(path, replay_budget=replay_budget).to_dict()
+        return reduce_bundle(
+            path, replay_budget=replay_budget, step_budget=step_budget
+        ).to_dict()
     finally:
         sys.setrecursionlimit(limit)
 
@@ -223,25 +238,31 @@ class ReductionRunner:
     for any ``jobs`` value because each reduction is deterministic.
     """
 
-    def __init__(self, jobs: int = 1, replay_budget: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        replay_budget: Optional[int] = None,
+        step_budget: Optional[int] = None,
+    ):
         self.jobs = max(1, int(jobs))
         self.replay_budget = replay_budget
+        self.step_budget = step_budget
 
     def run(
         self, sources: Iterable[Union[str, Path]]
     ) -> List[ReductionOutcome]:
         tasks = [
-            (str(p), self.replay_budget) for p in iter_bundle_paths(sources)
+            (str(p), self.replay_budget, self.step_budget)
+            for p in iter_bundle_paths(sources)
         ]
         if self.jobs == 1 or len(tasks) <= 1:
             results = [_reduce_path(task) for task in tasks]
         else:
-            context = multiprocessing.get_context(
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
-            with context.Pool(processes=min(self.jobs, len(tasks))) as pool:
+            context = mp_context()
+            with context.Pool(
+                processes=min(self.jobs, len(tasks)),
+                initializer=_init_worker,
+            ) as pool:
                 results = list(pool.map(_reduce_path, tasks))
         return [
             ReductionOutcome(

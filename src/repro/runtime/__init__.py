@@ -5,7 +5,10 @@ GQS and all five baselines — through a single loop, parameterized by the
 :class:`TesterProtocol` they implement; :class:`ParallelCampaignRunner`
 fans (tester × engine × seed) grids out over a process pool with an
 event-stream checkpoint so interrupted grids resume from the last
-completed cell.
+completed cell.  :class:`CellSupervisor` sandboxes every cell — worker
+exceptions, hangs, and crashes become structured failure events,
+deterministic retries, and explicit quarantine holes instead of grid
+aborts (:mod:`repro.runtime.supervisor`).
 """
 
 from repro.runtime.events import EventLog
@@ -18,17 +21,31 @@ from repro.runtime.parallel import (
 )
 from repro.runtime.protocol import Judgement, SessionPolicy, TesterProtocol
 from repro.runtime.results import BugReport, CampaignResult
+from repro.runtime.supervisor import (
+    CellFailedError,
+    CellFailure,
+    CellOutcome,
+    CellSupervisor,
+    ChaosConfig,
+    mp_context,
+)
 
 __all__ = [
     "BugReport",
     "CampaignResult",
     "CampaignKernel",
     "CampaignCell",
+    "CellFailedError",
+    "CellFailure",
     "CellKey",
+    "CellOutcome",
+    "CellSupervisor",
+    "ChaosConfig",
     "EventLog",
     "Judgement",
     "ParallelCampaignRunner",
     "SessionPolicy",
     "TesterProtocol",
     "derive_cell_seed",
+    "mp_context",
 ]

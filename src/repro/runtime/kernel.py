@@ -35,6 +35,8 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.engine.envelope import evaluation_budget
+from repro.engine.errors import EvaluationBudgetExceeded
 from repro.graph.generator import GraphGenerator
 from repro.obs import PROBE
 from repro.runtime.events import EventLog
@@ -56,11 +58,16 @@ class CampaignKernel:
         record_coverage: bool = False,
         record_triage: bool = False,
         recorder=None,
+        step_budget: Optional[int] = None,
     ):
         self.events = events if events is not None else EventLog()
         self.record_coverage = record_coverage
         self.record_triage = record_triage
         self.recorder = recorder
+        # Per-judgement evaluation step budget (resource envelope).  A
+        # blown budget costs one judgement — recorded as harness_error,
+        # never a bug — instead of the campaign.
+        self.step_budget = step_budget
 
     def run(
         self,
@@ -144,8 +151,10 @@ class CampaignKernel:
                             coverage.observe(proposal)
                         sim_before = result.sim_seconds
                         with tracer.span("judge"):
-                            judgement = tester.judge(
-                                engine, proposal, graph, rng, result
+                            judgement = self._judge(
+                                tester, engine, proposal, graph, rng,
+                                result, observing=observing,
+                                metrics=metrics, labels=labels,
                             )
                         result.queries_run += 1
                         self.events.emit(
@@ -224,6 +233,47 @@ class CampaignKernel:
         return result
 
     # -- internals --------------------------------------------------------
+
+    def _judge(
+        self,
+        tester: TesterProtocol,
+        engine,
+        proposal,
+        graph,
+        rng,
+        result: CampaignResult,
+        *,
+        observing: bool,
+        metrics,
+        labels,
+    ) -> Judgement:
+        """One judgement under the evaluation resource envelope.
+
+        A blown step budget (or an exhausted recursion limit surfaced by
+        the engines as the same typed error) is a *harness* condition:
+        the proposal is consumed, the judgement is empty, and the event
+        stream records a ``harness_error`` — never a false bug.  The
+        outcome is deterministic (the envelope draws no randomness), so
+        budgeted campaigns stay byte-identical across job counts.
+        """
+        try:
+            with evaluation_budget(self.step_budget):
+                return tester.judge(engine, proposal, graph, rng, result)
+        except EvaluationBudgetExceeded as exc:
+            result.harness_errors += 1
+            self.events.emit(
+                "harness_error",
+                tester=tester.name,
+                engine=engine.name,
+                error=f"{type(exc).__name__}: {exc}",
+                query=result.queries_run + 1,
+                sim_time=result.sim_seconds,
+            )
+            if observing:
+                metrics.counter(
+                    "campaign.harness_errors", **labels
+                ).inc()
+            return Judgement()
 
     @staticmethod
     def _within_budget(

@@ -3,34 +3,56 @@
 The paper's evaluation grid (6 testers × 4 engines × seeds; Table 6,
 Figure 18) is embarrassingly parallel: every cell is an independent
 campaign with its own engine instance and its own deterministic RNG.  This
-module fans the grid out over a ``multiprocessing`` pool:
+module fans the grid out over a ``multiprocessing`` pool, supervised by
+:class:`repro.runtime.supervisor.CellSupervisor`:
 
 * **Determinism** — each cell's seed is fixed *in the cell spec*, before
-  any work is scheduled, and cells are merged back in grid order, so the
-  result is byte-identical for ``jobs=1`` and ``jobs=8``.  Replicate seeds
-  are derived with :func:`derive_cell_seed` (SHA-256 over the cell
-  identity — never Python's salted ``hash``), stable across worker counts,
-  platforms and runs.
+  any work is scheduled, and results are merged back keyed by cell in grid
+  order, so the returned dict and every barrier merge are byte-identical
+  for ``jobs=1`` and ``jobs=8``.  Replicate seeds are derived with
+  :func:`derive_cell_seed` (SHA-256 over the cell identity — never
+  Python's salted ``hash``), stable across worker counts, platforms and
+  runs.
 * **Worker safety** — workers receive only primitives (names and numbers)
   and rebuild the engine/tester inside the child via
   :class:`repro.gdb.engines.EngineSpec`, so nothing unpicklable crosses the
   process boundary.
-* **Checkpoint/resume** — as each cell completes, its events and a
-  ``cell_complete`` checkpoint (the full serialized campaign) are appended
-  to the JSONL event log; an interrupted grid re-run with
+* **Robustness** — the supervisor sandboxes every cell: worker exceptions
+  become ``cell_failed`` events, hangs are cut by the ``cell_timeout``
+  watchdog, failed cells are retried (``cell_retries``) with deterministic
+  backoff and finally **quarantined** so the grid completes with explicit
+  holes (``cell_quarantined`` events, absent keys in the returned dict).
+* **Checkpoint/resume** — ``cell_complete`` checkpoints (the full
+  serialized campaign) are appended to the JSONL event log in **completion
+  order** — an interrupt after N finished cells always resumes N cells, no
+  matter where they sat in the grid.  A grid re-run with
   ``resume_path=...`` skips every cell already on record.
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.runtime.events import EventLog
 from repro.runtime.results import CampaignResult
+from repro.runtime.supervisor import (
+    CellFailure,
+    CellOutcome,
+    CellSupervisor,
+    ChaosConfig,
+)
 
 __all__ = [
     "CampaignCell",
@@ -40,6 +62,9 @@ __all__ = [
 ]
 
 CellKey = Tuple[str, str, int]
+
+#: Snapshot-carrying event kinds merged at the grid barrier.
+_SNAPSHOT_KINDS = ("metrics", "coverage", "triage")
 
 
 def derive_cell_seed(tester: str, engine: str, seed: int) -> int:
@@ -70,12 +95,14 @@ class CampaignCell:
         return (self.tester, self.engine, self.seed)
 
 
-def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
+def _run_cell(spec: Dict[str, Any]) -> Tuple[Dict, List[Dict]]:
     """Worker entry point: run one grid cell, return (campaign, events).
 
-    Imports are local so the module stays import-cycle-free (the runtime
-    layer must not statically depend on the experiment harness) and so
-    ``spawn``-based pools re-import only what they need.
+    *spec* is a primitives-only dict (see ``ParallelCampaignRunner._task``)
+    so it crosses process boundaries under any start method.  Imports are
+    local so the module stays import-cycle-free (the runtime layer must not
+    statically depend on the experiment harness) and so ``spawn``-based
+    pools re-import only what they need.
 
     With ``record_metrics`` the cell runs under a *fresh* per-cell
     observability scope (:func:`repro.obs.observed`), so each cell's
@@ -83,42 +110,44 @@ def _run_cell(spec: Tuple) -> Tuple[Dict, List[Dict]]:
     pool reuses worker processes — the invariant the deterministic barrier
     merge depends on.
     """
-    (tester_name, engine_name, seed, budget_seconds, gate_scale,
-     max_queries, record_queries, record_metrics,
-     record_coverage, record_triage, bundle_dir, reduce_bundles) = spec
     from repro.core.reporting import campaign_to_dict
     from repro.experiments.campaign import make_tester
     from repro.gdb.engines import EngineSpec
     from repro.runtime.kernel import CampaignKernel
 
+    engine_name = spec["engine"]
+    gate_scale = spec["gate_scale"]
     engine = EngineSpec(engine_name, gate_scale=gate_scale).create()
-    tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
-    log = EventLog(record_queries=record_queries,
-                   record_spans=record_metrics)
+    tester = make_tester(spec["tester"], engine_name,
+                         gate_scale=gate_scale)
+    log = EventLog(record_queries=spec["record_queries"],
+                   record_spans=spec["record_metrics"])
 
     recorder = None
-    if bundle_dir is not None:
+    if spec.get("bundle_dir") is not None:
         # Bundle filenames embed the cell identity, so workers sharing one
         # directory never contend for a file.
         from repro.obs.recorder import FlightRecorder
 
-        recorder = FlightRecorder(bundle_dir, auto_reduce=reduce_bundles)
+        recorder = FlightRecorder(spec["bundle_dir"],
+                                  auto_reduce=spec["reduce_bundles"])
 
     def run() -> "CampaignResult":
         return CampaignKernel(
             events=log,
-            record_coverage=record_coverage,
-            record_triage=record_triage,
+            record_coverage=spec["record_coverage"],
+            record_triage=spec["record_triage"],
             recorder=recorder,
+            step_budget=spec.get("step_budget"),
         ).run(
             tester,
             engine,
-            budget_seconds,
-            seed=seed,
-            max_queries=max_queries,
+            spec["budget_seconds"],
+            seed=spec["seed"],
+            max_queries=spec["max_queries"],
         )
 
-    if record_metrics:
+    if spec["record_metrics"]:
         from repro.obs import observed
 
         with observed():
@@ -132,7 +161,9 @@ class ParallelCampaignRunner:
     """Fan a list of campaign cells out over a process pool and merge back.
 
     ``jobs=1`` runs inline (no pool), which doubles as the determinism
-    reference for the parallel path.
+    reference for the parallel path.  ``cell_timeout``/``chaos`` switch
+    the supervisor to one-process-per-attempt slots so hangs and hard
+    crashes can be contained (see :mod:`repro.runtime.supervisor`).
     """
 
     def __init__(
@@ -145,6 +176,12 @@ class ParallelCampaignRunner:
         record_triage: bool = False,
         bundle_dir: Optional[Union[str, Path]] = None,
         reduce_bundles: bool = False,
+        cell_timeout: Optional[float] = None,
+        cell_retries: int = 0,
+        retry_backoff: Optional[float] = None,
+        quarantine: bool = True,
+        chaos: Optional[Union[ChaosConfig, str]] = None,
+        step_budget: Optional[int] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.events_path = Path(events_path) if events_path else None
@@ -154,6 +191,17 @@ class ParallelCampaignRunner:
         self.record_triage = record_triage
         self.bundle_dir = Path(bundle_dir) if bundle_dir else None
         self.reduce_bundles = reduce_bundles
+        supervisor_kwargs: Dict[str, Any] = {
+            "jobs": self.jobs,
+            "cell_timeout": cell_timeout,
+            "cell_retries": cell_retries,
+            "quarantine": quarantine,
+            "chaos": chaos,
+        }
+        if retry_backoff is not None:
+            supervisor_kwargs["retry_backoff"] = retry_backoff
+        self.supervisor = CellSupervisor(**supervisor_kwargs)
+        self.step_budget = step_budget
 
     def run(
         self,
@@ -163,17 +211,23 @@ class ParallelCampaignRunner:
         """Run every cell; returns results keyed and ordered by the grid.
 
         With *resume_path*, cells checkpointed in that event log are not
-        re-run; their stored results are merged in as-is.
+        re-run; their stored results are merged in as-is.  Quarantined
+        cells are explicit holes: absent from the returned dict, present
+        in the event stream as ``cell_quarantined``.
         """
+        from repro.core.reporting import campaign_from_dict
+
         cells = list(cells)
         if len({cell.key for cell in cells}) != len(cells):
             raise ValueError("duplicate (tester, engine, seed) cells in grid")
+        by_key = {cell.key: cell for cell in cells}
 
         done: Dict[CellKey, CampaignResult] = {}
-        # Per-campaign observability snapshots by kind, fresh and resumed
-        # alike, feeding the grid-scope barrier merges below.
-        snapshots: Dict[str, List[Dict]] = {
-            "metrics": [], "coverage": [], "triage": [],
+        # Per-campaign observability snapshots, *keyed by cell* so barrier
+        # merges fold them in grid order no matter the completion order —
+        # the byte-identity invariant across job counts.
+        snapshots: Dict[str, Dict[CellKey, List[Dict]]] = {
+            kind: {} for kind in _SNAPSHOT_KINDS
         }
         if resume_path is not None and Path(resume_path).exists():
             from repro.core.reporting import (
@@ -181,7 +235,7 @@ class ParallelCampaignRunner:
                 load_event_stream,
             )
 
-            wanted = {cell.key for cell in cells}
+            wanted = set(by_key)
             resume_events = load_event_stream(resume_path)
             recorded = completed_cells_from_events(resume_events)
             done = {key: recorded[key] for key in recorded if key in wanted}
@@ -189,13 +243,18 @@ class ParallelCampaignRunner:
             # count toward the merged grid snapshots.
             for event in resume_events:
                 kind = event.get("event")
+                key = (event.get("tester"), event.get("engine"),
+                       event.get("seed"))
                 if (kind in snapshots
                         and event.get("scope") == "campaign"
-                        and (event.get("tester"), event.get("engine"),
-                             event.get("seed")) in done):
-                    snapshots[kind].append(event["snapshot"])
+                        and key in done):
+                    snapshots[kind].setdefault(key, []).append(
+                        event["snapshot"]
+                    )
 
         pending = [cell for cell in cells if cell.key not in done]
+        stats = {"failed": 0, "retried": 0, "timeouts": 0, "crashes": 0,
+                 "quarantined": 0, "truncated": 0}
         with EventLog(self.events_path,
                       record_spans=self.record_metrics) as log:
             log.emit(
@@ -205,86 +264,222 @@ class ParallelCampaignRunner:
                 pending=len(pending),
                 jobs=self.jobs,
             )
-            for cell, (campaign, events) in zip(
-                pending, self._execute(pending)
-            ):
-                log.extend(events)
-                for event in events:
-                    kind = event.get("event")
-                    if (kind in snapshots
-                            and event.get("scope") == "campaign"):
-                        snapshots[kind].append(event["snapshot"])
-                from repro.core.reporting import campaign_from_dict
+            tasks = [self._task(cell) for cell in pending]
+            for item in self.supervisor.run(tasks):
+                if isinstance(item, CellFailure):
+                    self._on_failure(log, item, stats)
+                    continue
+                self._on_outcome(log, item, by_key[item.key], done,
+                                 snapshots, stats, campaign_from_dict)
+            self._emit_barriers(log, cells, snapshots, stats)
+            log.emit(
+                "grid_end",
+                cells=len(cells),
+                completed=len(done),
+                quarantined=stats["quarantined"],
+            )
+        return {cell.key: done[cell.key] for cell in cells
+                if cell.key in done}
 
-                done[cell.key] = campaign_from_dict(campaign)
-                log.emit(
-                    "cell_complete",
-                    tester=cell.tester,
-                    engine=cell.engine,
-                    seed=cell.seed,
-                    campaign=campaign,
-                )
-            if self.record_metrics and snapshots["metrics"]:
-                # Barrier merge: per-worker snapshots fold element-wise
-                # (fixed bucket edges), so the result is independent of
-                # worker count and completion order.
-                from repro.obs import merge_snapshots
+    # -- supervisor event plumbing ----------------------------------------
 
-                log.emit(
-                    "metrics",
-                    scope="grid",
-                    cells=len(snapshots["metrics"]),
-                    snapshot=merge_snapshots(snapshots["metrics"]),
-                )
-            if snapshots["coverage"]:
-                # Coverage/triage merges fold cells in sorted (tester,
-                # engine, seed) order internally — same invariant.
-                from repro.obs import merge_coverage_snapshots
-
-                log.emit(
-                    "coverage",
-                    scope="grid",
-                    cells=len(snapshots["coverage"]),
-                    snapshot=merge_coverage_snapshots(snapshots["coverage"]),
-                )
-            if snapshots["triage"]:
-                from repro.obs import merge_triage_snapshots
-
-                log.emit(
-                    "triage",
-                    scope="grid",
-                    cells=len(snapshots["triage"]),
-                    snapshot=merge_triage_snapshots(snapshots["triage"]),
-                )
-            log.emit("grid_end", cells=len(cells))
-        return {cell.key: done[cell.key] for cell in cells}
-
-    # -- execution strategies --------------------------------------------
-
-    def _specs(self, cells: Sequence[CampaignCell]) -> List[Tuple]:
-        return [
-            (cell.tester, cell.engine, cell.seed, cell.budget_seconds,
-             cell.gate_scale, cell.max_queries, self.record_queries,
-             self.record_metrics, self.record_coverage, self.record_triage,
-             str(self.bundle_dir) if self.bundle_dir else None,
-             self.reduce_bundles)
-            for cell in cells
-        ]
-
-    def _execute(
-        self, cells: Sequence[CampaignCell]
-    ) -> Iterable[Tuple[Dict, List[Dict]]]:
-        specs = self._specs(cells)
-        if self.jobs == 1 or len(cells) <= 1:
-            for spec in specs:
-                yield _run_cell(spec)
-            return
-        context = multiprocessing.get_context(
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
+    def _on_failure(self, log: EventLog, failure: CellFailure,
+                    stats: Dict[str, int]) -> None:
+        tester, engine, seed = failure.key
+        stats["failed"] += 1
+        if failure.kind == "timeout":
+            stats["timeouts"] += 1
+        elif failure.kind == "crash":
+            stats["crashes"] += 1
+        log.emit(
+            "cell_failed",
+            tester=tester,
+            engine=engine,
+            seed=seed,
+            attempt=failure.attempt,
+            kind=failure.kind,
+            error=failure.error,
+            traceback_tail=failure.traceback_tail,
+            will_retry=failure.will_retry,
         )
-        with context.Pool(processes=min(self.jobs, len(cells))) as pool:
-            # imap preserves grid order while letting finished cells be
-            # checkpointed as soon as every earlier cell is done.
-            yield from pool.imap(_run_cell, specs)
+        if failure.will_retry:
+            stats["retried"] += 1
+            log.emit(
+                "cell_retry",
+                tester=tester,
+                engine=engine,
+                seed=seed,
+                next_attempt=failure.attempt + 1,
+                backoff=failure.backoff,
+            )
+
+    def _on_outcome(
+        self,
+        log: EventLog,
+        outcome: CellOutcome,
+        cell: CampaignCell,
+        done: Dict[CellKey, CampaignResult],
+        snapshots: Dict[str, Dict[CellKey, List[Dict]]],
+        stats: Dict[str, int],
+        campaign_from_dict,
+    ) -> None:
+        if outcome.quarantined:
+            stats["quarantined"] += 1
+            log.emit(
+                "cell_quarantined",
+                tester=cell.tester,
+                engine=cell.engine,
+                seed=cell.seed,
+                attempts=outcome.attempts,
+            )
+            return
+        log.extend(outcome.events)
+        for event in outcome.events:
+            kind = event.get("event")
+            if kind in snapshots and event.get("scope") == "campaign":
+                snapshots[kind].setdefault(cell.key, []).append(
+                    event["snapshot"]
+                )
+        done[cell.key] = campaign_from_dict(outcome.campaign)
+        # Completion-order checkpoint: emitted the moment the cell lands,
+        # so an interrupt after N finished cells always resumes N cells.
+        log.emit(
+            "cell_complete",
+            tester=cell.tester,
+            engine=cell.engine,
+            seed=cell.seed,
+            attempts=outcome.attempts,
+            campaign=outcome.campaign,
+        )
+        chaos = self.supervisor.chaos
+        if (chaos is not None and log.path is not None
+                and chaos.truncates(cell.key)):
+            # Chaos: tear the checkpoint line we just wrote, simulating a
+            # crash mid-write.  The in-memory log (and hence this run's
+            # results) keeps the full event; only a later ``--resume``
+            # sees the torn line, skips it, and re-runs the cell.
+            stats["truncated"] += 1
+            self._truncate_tail(log)
+            log.emit(
+                "chaos",
+                action="truncate_tail",
+                tester=cell.tester,
+                engine=cell.engine,
+                seed=cell.seed,
+            )
+
+    @staticmethod
+    def _truncate_tail(log: EventLog, nbytes: int = 32) -> None:
+        """Chop the tail of the last written line, leaving a torn record."""
+        path = log.path
+        size = path.stat().st_size
+        if size <= nbytes:
+            return
+        with open(path, "r+b") as handle:
+            handle.truncate(size - nbytes)
+            # Real torn writes end without a newline and nothing follows;
+            # here the run continues, so terminate the torn line to keep
+            # subsequent appends parseable (the torn line itself is
+            # invalid JSON and is skipped by ``load_event_stream``).
+            handle.seek(0, os.SEEK_END)
+            handle.write(b"\n")
+
+    def _emit_barriers(
+        self,
+        log: EventLog,
+        cells: Sequence[CampaignCell],
+        snapshots: Dict[str, Dict[CellKey, List[Dict]]],
+        stats: Dict[str, int],
+    ) -> None:
+        """Grid-scope barrier merges, folded in grid order (byte-stable)."""
+        ordered: Dict[str, List[Dict]] = {
+            kind: [snap for cell in cells
+                   for snap in snapshots[kind].get(cell.key, ())]
+            for kind in _SNAPSHOT_KINDS
+        }
+        if self.record_metrics and ordered["metrics"]:
+            # Barrier merge: per-worker snapshots fold element-wise
+            # (fixed bucket edges), so the result is independent of
+            # worker count and completion order.
+            from repro.obs import merge_snapshots
+
+            merged = ordered["metrics"]
+            supervisor_snap = self._supervisor_snapshot(stats)
+            if supervisor_snap is not None:
+                merged = merged + [supervisor_snap]
+            log.emit(
+                "metrics",
+                scope="grid",
+                cells=len(ordered["metrics"]),
+                snapshot=merge_snapshots(merged),
+            )
+        if ordered["coverage"]:
+            # Coverage/triage merges fold cells in sorted (tester,
+            # engine, seed) order internally — same invariant.
+            from repro.obs import merge_coverage_snapshots
+
+            log.emit(
+                "coverage",
+                scope="grid",
+                cells=len(ordered["coverage"]),
+                snapshot=merge_coverage_snapshots(ordered["coverage"]),
+            )
+        if ordered["triage"]:
+            from repro.obs import merge_triage_snapshots
+
+            log.emit(
+                "triage",
+                scope="grid",
+                cells=len(ordered["triage"]),
+                snapshot=merge_triage_snapshots(ordered["triage"]),
+            )
+        if stats["failed"] or stats["quarantined"] or stats["truncated"]:
+            log.emit("supervisor", **stats)
+
+    @staticmethod
+    def _supervisor_snapshot(stats: Dict[str, int]) -> Optional[Dict]:
+        """Supervisor counters as a metrics snapshot for the grid merge.
+
+        Only materialized when something actually failed, so fault-free
+        grids keep byte-identical grid metrics with or without the
+        supervisor features enabled.
+        """
+        if not (stats["failed"] or stats["quarantined"]
+                or stats["truncated"]):
+            return None
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("supervisor.failures").inc(stats["failed"])
+        registry.counter("supervisor.retries").inc(stats["retried"])
+        registry.counter("supervisor.timeouts").inc(stats["timeouts"])
+        registry.counter("supervisor.crashes").inc(stats["crashes"])
+        registry.counter("supervisor.quarantined").inc(
+            stats["quarantined"]
+        )
+        registry.counter("supervisor.truncated").inc(stats["truncated"])
+        return registry.snapshot()
+
+    # -- worker task specs -------------------------------------------------
+
+    def _task(self, cell: CampaignCell) -> Dict[str, Any]:
+        """The supervisor task for *cell*: key + primitives-only spec."""
+        return {
+            "key": cell.key,
+            "spec": {
+                "tester": cell.tester,
+                "engine": cell.engine,
+                "seed": cell.seed,
+                "budget_seconds": cell.budget_seconds,
+                "gate_scale": cell.gate_scale,
+                "max_queries": cell.max_queries,
+                "record_queries": self.record_queries,
+                "record_metrics": self.record_metrics,
+                "record_coverage": self.record_coverage,
+                "record_triage": self.record_triage,
+                "bundle_dir": (str(self.bundle_dir)
+                               if self.bundle_dir else None),
+                "reduce_bundles": self.reduce_bundles,
+                "step_budget": self.step_budget,
+            },
+        }

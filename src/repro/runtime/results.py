@@ -44,6 +44,9 @@ class CampaignResult:
     timeline: List[Tuple[float, str]] = field(default_factory=list)
     # Per bug-triggering query metadata, for the §5.3 analyses.
     trigger_records: List[Dict[str, Any]] = field(default_factory=list)
+    # Judgements aborted by the evaluation resource envelope (blown step
+    # budget / recursion limit) — harness conditions, never bugs.
+    harness_errors: int = 0
 
     @property
     def detected_faults(self) -> List[str]:
@@ -64,4 +67,5 @@ class CampaignResult:
         merged.reports = self.reports + other.reports
         merged.timeline = sorted(self.timeline + other.timeline)
         merged.trigger_records = self.trigger_records + other.trigger_records
+        merged.harness_errors = self.harness_errors + other.harness_errors
         return merged
