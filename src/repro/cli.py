@@ -7,10 +7,12 @@ Usage (also available as ``python -m repro``):
                    [--metrics] [--coverage] [--triage] [--bundles DIR]
                    [--reduce] [--cell-timeout S] [--cell-retries N]
                    [--chaos P,SEED] [--step-budget S]
+                   [--engine-mode interpreted|compiled|dual]
     repro compare  --engine falkordb --minutes 2 [--jobs N] [--resume LOG]
                    [--metrics] [--coverage] [--triage] [--bundles DIR]
                    [--reduce] [--cell-timeout S] [--cell-retries N]
                    [--chaos P,SEED] [--step-budget S]
+                   [--engine-mode interpreted|compiled|dual]
     repro stats    events.jsonl
     repro trace    events.jsonl
     repro coverage events.jsonl
@@ -50,6 +52,13 @@ explicit holes), ``--step-budget`` caps evaluation steps per judgement
 ``--chaos P[,SEED]`` deterministically injects worker crashes/hangs/errors
 and event-log tail truncation to exercise the supervisor itself.  See
 ``docs/robustness.md``.
+
+``--engine-mode`` selects the target engines' execution core
+(:mod:`repro.engine.plan`): ``interpreted`` (the reference evaluator,
+default), ``compiled`` (operator pipelines with indexes and a plan cache),
+or ``dual`` (run both and raise on any divergence — the differential
+self-check).  Campaign results are identical across modes; see
+``docs/execution.md``.
 """
 
 from __future__ import annotations
@@ -60,6 +69,17 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_mode_argument(parser: argparse.ArgumentParser) -> None:
+    """``--engine-mode`` flag shared by campaign and compare."""
+    parser.add_argument(
+        "--engine-mode", default="interpreted",
+        choices=["interpreted", "compiled", "dual"],
+        help="execution core for the target engines: the reference "
+             "interpreter, compiled operator pipelines, or dual "
+             "(both, raising on any divergence)",
+    )
 
 
 def _add_supervisor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -129,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--reduce", action="store_true",
                           help="minimize each recorded bundle (*.min.json); "
                                "requires --bundles")
+    _add_engine_mode_argument(campaign)
     _add_supervisor_arguments(campaign)
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
@@ -153,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--reduce", action="store_true",
                          help="minimize each recorded bundle (*.min.json); "
                               "requires --bundles")
+    _add_engine_mode_argument(compare)
     _add_supervisor_arguments(compare)
 
     stats = sub.add_parser(
@@ -266,6 +288,7 @@ def _cmd_campaign(args) -> int:
                 record_coverage=args.coverage, record_triage=args.triage,
                 bundle_dir=args.bundles, reduce_bundles=args.reduce,
                 step_budget=args.step_budget,
+                execution_mode=args.engine_mode,
             )
         if events is not None:
             events.close()
@@ -284,6 +307,7 @@ def _cmd_campaign(args) -> int:
             reduce_bundles=args.reduce,
             cell_timeout=args.cell_timeout, cell_retries=args.cell_retries,
             chaos=chaos, step_budget=args.step_budget,
+            execution_mode=args.engine_mode,
         )
 
     all_faults: List[str] = []
@@ -346,6 +370,7 @@ def _cmd_compare(args) -> int:
         reduce_bundles=args.reduce,
         cell_timeout=args.cell_timeout, cell_retries=args.cell_retries,
         chaos=chaos, step_budget=args.step_budget,
+        execution_mode=args.engine_mode,
     )
     by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
     # "distinct" deduplicates the raw report stream by bug signature —

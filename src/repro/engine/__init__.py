@@ -1,7 +1,12 @@
 """Reference Cypher execution engine."""
 
 from repro.engine.binding import BindingTable, ResultSet, Row
-from repro.engine.envelope import ENVELOPE, ResourceEnvelope, evaluation_budget
+from repro.engine.envelope import (
+    ENVELOPE,
+    ResourceEnvelope,
+    evaluation_budget,
+    parked_envelope,
+)
 from repro.engine.errors import (
     CypherError,
     CypherRuntimeError,
@@ -9,6 +14,7 @@ from repro.engine.errors import (
     CypherTypeError,
     DatabaseCrash,
     EvaluationBudgetExceeded,
+    PlanDivergenceError,
     ResourceExhausted,
 )
 from repro.engine.evaluator import Evaluator, has_aggregate
@@ -30,8 +36,10 @@ __all__ = [
     "CypherTypeError",
     "DatabaseCrash",
     "EvaluationBudgetExceeded",
+    "PlanDivergenceError",
     "ResourceExhausted",
     "ENVELOPE",
     "ResourceEnvelope",
     "evaluation_budget",
+    "parked_envelope",
 ]

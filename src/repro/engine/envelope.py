@@ -30,7 +30,7 @@ from typing import Iterator, Optional
 
 from repro.engine.errors import EvaluationBudgetExceeded
 
-__all__ = ["ResourceEnvelope", "ENVELOPE", "evaluation_budget"]
+__all__ = ["ResourceEnvelope", "ENVELOPE", "evaluation_budget", "parked_envelope"]
 
 
 class ResourceEnvelope:
@@ -75,5 +75,24 @@ def evaluation_budget(limit: Optional[int]) -> Iterator[ResourceEnvelope]:
     ENVELOPE.limit, ENVELOPE.steps = int(limit), 0
     try:
         yield ENVELOPE
+    finally:
+        ENVELOPE.limit, ENVELOPE.steps = previous
+
+
+@contextmanager
+def parked_envelope() -> Iterator[None]:
+    """Suspend any active budget for the scope, restoring it on exit.
+
+    The dual-mode self-check (:mod:`repro.engine.plan`) runs the compiled
+    pipeline *after* the interpreted reference has already been charged for
+    the query; charging the same work twice would make budgeted dual
+    campaigns blow budgets the interpreted campaign would not, breaking
+    byte-identity.  Parking the envelope keeps the interpreted run the only
+    metered one.
+    """
+    previous = (ENVELOPE.limit, ENVELOPE.steps)
+    ENVELOPE.limit = None
+    try:
+        yield
     finally:
         ENVELOPE.limit, ENVELOPE.steps = previous

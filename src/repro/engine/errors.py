@@ -11,6 +11,7 @@ __all__ = [
     "CypherTypeError",
     "DatabaseCrash",
     "EvaluationBudgetExceeded",
+    "PlanDivergenceError",
     "ResourceExhausted",
 ]
 
@@ -37,6 +38,20 @@ class ResourceExhausted(CypherError):
 
     The real Memgraph bug of Figure 9 hangs and consumes >50 GB; the
     simulation raises this instead of actually hanging the test process.
+    """
+
+
+class PlanDivergenceError(RuntimeError):
+    """Compiled and interpreted execution disagreed in ``dual`` mode.
+
+    Deliberately **not** a :class:`CypherError`, for the same reason as
+    :class:`EvaluationBudgetExceeded`: tester oracles catch engine errors
+    and turn them into discrepancy reports, but a divergence between the
+    compiled operator pipeline and the tree-walking reference is a bug in
+    *this* codebase, never in a simulated engine.  It must propagate past
+    every oracle — and past the campaign kernel's harness-error handling —
+    so the campaign cell fails loudly instead of laundering the bug into a
+    fault report.
     """
 
 

@@ -32,9 +32,7 @@ Procedure = Callable[[PropertyGraph, Sequence[Any]], Tuple[List[str], List[List[
 ProcedureRegistry = Dict[str, Procedure]
 
 
-def default_procedures() -> ProcedureRegistry:
-    """The engine procedures shared by Neo4j and FalkorDB (§4)."""
-
+def _build_default_procedures() -> ProcedureRegistry:
     def db_labels(graph: PropertyGraph, args: Sequence[Any]):
         return ["label"], [[label] for label in graph.labels()]
 
@@ -52,6 +50,21 @@ def default_procedures() -> ProcedureRegistry:
     }
 
 
+# Built once at import: the registry is stateless (procedures read the graph
+# they are handed), so every executor can share one dict instead of
+# re-deriving it per instantiation on hot replay paths.
+_DEFAULT_PROCEDURES: ProcedureRegistry = _build_default_procedures()
+
+
+def default_procedures() -> ProcedureRegistry:
+    """The engine procedures shared by Neo4j and FalkorDB (§4).
+
+    Returns the shared module-level registry; callers must treat it as
+    read-only (pass a fresh dict to :class:`Executor` to customize).
+    """
+    return _DEFAULT_PROCEDURES
+
+
 class Executor:
     """Executes query ASTs against a :class:`PropertyGraph`."""
 
@@ -64,7 +77,7 @@ class Executor:
         self.graph = graph
         self.evaluator = Evaluator(graph)
         self.matcher = Matcher(graph, enforce_rel_uniqueness)
-        self.procedures = procedures if procedures is not None else default_procedures()
+        self.procedures = procedures if procedures is not None else _DEFAULT_PROCEDURES
 
     # -- public API ---------------------------------------------------
 
@@ -507,6 +520,9 @@ class Executor:
                     target.properties.pop(item.key, None)
                 else:
                     target.properties[item.key] = value
+        # SET mutates properties in place, bypassing the structural mutators
+        # that normally drop the graph's cached views.
+        self.graph.invalidate_property_index()
         return table
 
     def _delete(self, clause: ast.Delete, table: BindingTable) -> BindingTable:
@@ -550,6 +566,8 @@ class Executor:
                     target_labels = set(target.labels)
                     target_labels.discard(item.label)
                     target.labels = frozenset(target_labels)
+        # REMOVE mutates properties in place, like SET above.
+        self.graph.invalidate_property_index()
         return table
 
     def _merge(self, clause: ast.Merge, table: BindingTable) -> BindingTable:

@@ -124,6 +124,7 @@ def run_tool_campaign(
     bundle_dir: Optional[Union[str, Path]] = None,
     reduce_bundles: bool = False,
     step_budget: Optional[int] = None,
+    execution_mode: str = "interpreted",
 ) -> Optional[CampaignResult]:
     """Run one tool against one engine through the shared campaign kernel;
     None when unsupported.
@@ -133,11 +134,16 @@ def run_tool_campaign(
     *bundle_dir* additionally writes one flight-recorder repro bundle per
     new bug signature, and ``reduce_bundles`` minimizes each bundle in
     place (``*.min.json``, :mod:`repro.reduce`).  None of these perturbs
-    the campaign itself.
+    the campaign itself.  ``execution_mode`` selects the target engine's
+    execution core (``interpreted`` / ``compiled`` / ``dual``,
+    :mod:`repro.engine.plan`); campaign results are identical across
+    modes by the dual-mode contract.
     """
     if not tester_supports(tester_name, engine_name):
         return None
-    engine = create_engine(engine_name, gate_scale=gate_scale)
+    engine = create_engine(
+        engine_name, gate_scale=gate_scale, execution_mode=execution_mode
+    )
     tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
     recorder = None
     if bundle_dir is not None:
@@ -164,6 +170,7 @@ def campaign_grid_cells(
     gate_scale: float = 1.0,
     max_queries: Optional[int] = None,
     derive_seeds: bool = False,
+    execution_mode: str = "interpreted",
 ) -> list:
     """Build the (tester × engine × seed) cell list, skipping unsupported
     pairings (the "-" cells of Tables 4 and 6).
@@ -192,6 +199,7 @@ def campaign_grid_cells(
                         budget_seconds=budget_seconds,
                         gate_scale=gate_scale,
                         max_queries=max_queries,
+                        execution_mode=execution_mode,
                     )
                 )
     return cells
@@ -219,6 +227,7 @@ def run_campaign_grid(
     quarantine: bool = True,
     chaos=None,
     step_budget: Optional[int] = None,
+    execution_mode: str = "interpreted",
 ) -> Dict[CellKey, CampaignResult]:
     """Run a full campaign grid, optionally parallel and resumable.
 
@@ -247,6 +256,7 @@ def run_campaign_grid(
         gate_scale=gate_scale,
         max_queries=max_queries,
         derive_seeds=derive_seeds,
+        execution_mode=execution_mode,
     )
     runner = ParallelCampaignRunner(
         jobs=jobs, events_path=events_path, record_metrics=record_metrics,

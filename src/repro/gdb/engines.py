@@ -15,6 +15,7 @@ root-cause deduplication the paper performs (§7, Limitations).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import KW_ONLY, dataclass
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Union
@@ -23,19 +24,25 @@ from repro.cypher import ast
 from repro.cypher.parser import parse_query
 from repro.cypher.printer import print_query
 from repro.engine.binding import ResultSet
+from repro.engine.envelope import parked_envelope
 from repro.engine.errors import (
+    CypherError,
     CypherRuntimeError,
     CypherTypeError,
     DatabaseCrash,
     EvaluationBudgetExceeded,
+    PlanDivergenceError,
 )
 from repro.engine.executor import Executor, default_procedures
+from repro.engine.plan import ExecutionContext, PlanCache, build_plan
 from repro.gdb.catalog import faults_for
 from repro.gdb.dialects import DIALECTS, Dialect
 from repro.gdb.faults import Fault, extract_features
+from repro.graph import values as V
 from repro.graph.model import PropertyGraph
 from repro.graph.schema import GraphSchema
 from repro.obs import PROBE
+from repro.obs.coverage import query_feature_tags
 
 __all__ = [
     "GraphDatabase",
@@ -48,11 +55,17 @@ __all__ = [
     "EngineSpec",
     "create_engine",
     "ALL_ENGINE_NAMES",
+    "EXECUTION_MODES",
 ]
 
 AnyQuery = Union[str, ast.Query, ast.UnionQuery]
 
 ALL_ENGINE_NAMES = ("neo4j", "memgraph", "kuzu", "falkordb")
+
+# How an engine evaluates the *correct* answer before fault perturbation:
+# the reference interpreter, the compiled operator pipeline, or both with a
+# differential self-check (any mismatch raises PlanDivergenceError).
+EXECUTION_MODES = ("interpreted", "compiled", "dual")
 
 
 class Session:
@@ -118,9 +131,16 @@ class GraphDatabase:
         *,
         faults_enabled: bool = True,
         gate_scale: float = 1.0,
+        execution_mode: str = "interpreted",
     ):
+        if execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {execution_mode!r}; expected one of "
+                f"{EXECUTION_MODES}"
+            )
         self.dialect = dialect
         self.name = dialect.name
+        self.execution_mode = execution_mode
         # gate_scale < 1 compresses fault latency: the experiment harness
         # uses it to emulate the paper's months-long full campaign within a
         # benchmark-sized run (documented in EXPERIMENTS.md).
@@ -138,6 +158,17 @@ class GraphDatabase:
         self.total_queries = 0
         self.crashed = False
         self._executor: Optional[Executor] = None
+        # Plans are graph-independent (they resolve the graph through the
+        # execution context), so the cache lives for the engine's lifetime
+        # and survives load_graph.
+        self._plan_cache = PlanCache()
+        self._plan_profile: Dict[str, int] = {}
+        # parse_query and extract_features are pure functions of the query
+        # text (ASTs are never mutated after construction), so repeated
+        # texts — replays, differential runs, cache-warm campaigns — skip
+        # the parse and analysis walks entirely.  Maps text -> (tree,
+        # features).
+        self._query_cache: "OrderedDict[str, Any]" = OrderedDict()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -205,6 +236,7 @@ class GraphDatabase:
             "name": self.name,
             "faults_enabled": self.faults_enabled,
             "gate_scale": self.gate_scale,
+            "execution_mode": self.execution_mode,
         }
 
     # -- query execution ----------------------------------------------------
@@ -242,6 +274,17 @@ class GraphDatabase:
                         evaluator.profile_calls
                     )
                     evaluator.profile_calls = 0
+            if self.execution_mode == "compiled":
+                # Dual mode deliberately flushes nothing plan-related: its
+                # observable stream must match an interpreted run's exactly.
+                for name, value in self._plan_cache.drain().items():
+                    metrics.counter(f"plan.{name}").inc(value)
+                if self._plan_profile:
+                    for operator, count in self._plan_profile.items():
+                        metrics.counter(
+                            "plan.rows", operator=operator
+                        ).inc(count)
+                    self._plan_profile.clear()
 
     def _execute_guarded(self, query: AnyQuery) -> ResultSet:
         # Recursion guard of the evaluation resource envelope: a synthesized
@@ -267,17 +310,25 @@ class GraphDatabase:
 
         if isinstance(query, str):
             text = query
-            tree = parse_query(text)
+            entry = self._query_cache.get(text)
+            tree = entry[0] if entry is not None else parse_query(text)
         else:
             tree = query
             text = print_query(query)
+            entry = self._query_cache.get(text)
 
         self.queries_since_restart += 1
         self.total_queries += 1
         self.last_fired_fault = None
         self.last_fault_session_queries = None
 
-        features = extract_features(tree, text)
+        if entry is not None:
+            features = entry[1]
+        else:
+            features = extract_features(tree, text)
+            self._query_cache[text] = (tree, features)
+            while len(self._query_cache) > 1024:
+                self._query_cache.popitem(last=False)
         self._check_dialect_support(features)
 
         fired: Optional[Fault] = None
@@ -301,7 +352,7 @@ class GraphDatabase:
             fired.effect(ResultSet([], []), features.signature_hash())
 
         try:
-            correct = self._executor.execute(tree)
+            correct = self._evaluate_reference(tree, text)
         except CypherTypeError:
             if self.dialect.lenient_type_errors:
                 # Engines like Memgraph coerce runtime type mismatches into
@@ -314,6 +365,117 @@ class GraphDatabase:
             self.last_fault_session_queries = self.queries_since_restart
             return fired.effect(correct, features.signature_hash())
         return correct
+
+    # -- execution modes ---------------------------------------------------
+
+    def _evaluate_reference(self, tree: AnyQuery, text: str) -> ResultSet:
+        """Compute the correct answer via the configured execution mode."""
+        mode = self.execution_mode
+        if mode == "interpreted":
+            return self._executor.execute(tree)
+        if mode == "compiled":
+            # Plan build and execution share the try in _execute, so a
+            # CypherError raised either way surfaces identically.
+            plan = self._plan_for(tree, text)
+            if plan.is_fallback:
+                return self._executor.execute(tree)
+            return plan.execute(self._plan_context())
+
+        # dual: interpreted first (it owns the observable result), then the
+        # compiled leg under a parked envelope so its steps neither consume
+        # budget nor perturb the interpreted run's accounting.
+        try:
+            interpreted = self._executor.execute(tree)
+        except CypherError as exc:
+            self._check_compiled_error(tree, text, exc)
+            raise
+        plan = self._plan_for(tree, text)
+        if plan.is_fallback:
+            return interpreted
+        with parked_envelope():
+            try:
+                compiled = plan.execute(self._plan_context())
+            except CypherError as cexc:
+                self._plan_cache.divergences += 1
+                raise PlanDivergenceError(
+                    f"compiled execution raised {type(cexc).__name__} where "
+                    f"interpreted succeeded ({cexc}); query: {text}"
+                ) from cexc
+        self._compare_modes(interpreted, compiled, text)
+        return interpreted
+
+    def _check_compiled_error(
+        self, tree: AnyQuery, text: str, exc: CypherError
+    ) -> None:
+        """Dual-mode check that the compiled leg fails like the interpreter."""
+        plan = self._plan_for(tree, text)
+        if plan.is_fallback:
+            return
+        with parked_envelope():
+            try:
+                plan.execute(self._plan_context())
+            except CypherError as cexc:
+                if type(cexc) is type(exc):
+                    return
+                self._plan_cache.divergences += 1
+                raise PlanDivergenceError(
+                    f"interpreted raised {type(exc).__name__} but compiled "
+                    f"raised {type(cexc).__name__}; query: {text}"
+                ) from cexc
+        self._plan_cache.divergences += 1
+        raise PlanDivergenceError(
+            f"interpreted raised {type(exc).__name__} but compiled "
+            f"succeeded; query: {text}"
+        )
+
+    def _compare_modes(
+        self, interpreted: ResultSet, compiled: ResultSet, text: str
+    ) -> None:
+        same = (
+            interpreted.columns == compiled.columns
+            and bool(interpreted.ordered) == bool(compiled.ordered)
+            and len(interpreted.rows) == len(compiled.rows)
+        )
+        if same:
+            for left, right in zip(interpreted.rows, compiled.rows):
+                left_key = tuple(V.equivalence_key(value) for value in left)
+                right_key = tuple(V.equivalence_key(value) for value in right)
+                if left_key != right_key:
+                    same = False
+                    break
+        if not same:
+            self._plan_cache.divergences += 1
+            raise PlanDivergenceError(
+                f"compiled and interpreted results differ; query: {text}"
+            )
+
+    def _plan_for(self, tree: AnyQuery, text: str):
+        cache = self._plan_cache
+        key = cache.key_for_text(text)
+        if key is None:
+            key = PlanCache.fingerprint(query_feature_tags(tree), text)
+            cache.remember_text(text, key)
+        plan = cache.get(key)
+        if plan is None:
+            plan = build_plan(
+                tree,
+                enforce_rel_uniqueness=self.dialect.enforces_rel_uniqueness,
+            )
+            cache.put(key, plan)
+        return plan
+
+    def _plan_context(self) -> ExecutionContext:
+        # Operator row tallies are recorded only in pure compiled mode: the
+        # dual-mode compiled leg must stay invisible so a dual campaign's
+        # events and checkpoints stay byte-identical to an interpreted one.
+        profile = None
+        if PROBE.on and self.execution_mode == "compiled":
+            profile = self._plan_profile
+        return ExecutionContext(
+            self.graph,
+            procedures=self._executor.procedures,
+            profile=profile,
+        )
 
     def _check_dialect_support(self, features) -> None:
         unsupported = self.dialect.unsupported_functions
@@ -363,41 +525,47 @@ class GraphDatabase:
 class Neo4jSim(GraphDatabase):
     """Simulated Neo4j: on-disk, strict types, full procedure support."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
+                 execution_mode: str = "interpreted"):
         super().__init__(DIALECTS["neo4j"], faults_enabled=faults_enabled,
-                         gate_scale=gate_scale)
+                         gate_scale=gate_scale, execution_mode=execution_mode)
 
 
 class MemgraphSim(GraphDatabase):
     """Simulated Memgraph: in-memory, lenient runtime types, no db.labels."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
+                 execution_mode: str = "interpreted"):
         super().__init__(DIALECTS["memgraph"], faults_enabled=faults_enabled,
-                         gate_scale=gate_scale)
+                         gate_scale=gate_scale, execution_mode=execution_mode)
 
 
 class KuzuSim(GraphDatabase):
     """Simulated Kùzu: schema-first, no relationship-uniqueness guarantee."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
+                 execution_mode: str = "interpreted"):
         super().__init__(DIALECTS["kuzu"], faults_enabled=faults_enabled,
-                         gate_scale=gate_scale)
+                         gate_scale=gate_scale, execution_mode=execution_mode)
 
 
 class FalkorDBSim(GraphDatabase):
     """Simulated FalkorDB: no relationship uniqueness, rounded float output."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0):
+    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
+                 execution_mode: str = "interpreted"):
         super().__init__(DIALECTS["falkordb"], faults_enabled=faults_enabled,
-                         gate_scale=gate_scale)
+                         gate_scale=gate_scale, execution_mode=execution_mode)
 
 
 class ReferenceGDB(GraphDatabase):
     """A fault-free engine with reference semantics (testing/validation)."""
 
-    def __init__(self, name: str = "reference"):
+    def __init__(self, name: str = "reference",
+                 execution_mode: str = "interpreted"):
         dialect = DIALECTS["neo4j"]
-        super().__init__(dialect, faults=[], faults_enabled=False)
+        super().__init__(dialect, faults=[], faults_enabled=False,
+                         execution_mode=execution_mode)
         self.name = name
 
 
@@ -410,7 +578,11 @@ _ENGINE_CLASSES = {
 
 
 def create_engine(
-    name: str, *, faults_enabled: bool = True, gate_scale: float = 1.0
+    name: str,
+    *,
+    faults_enabled: bool = True,
+    gate_scale: float = 1.0,
+    execution_mode: str = "interpreted",
 ) -> GraphDatabase:
     """Factory for the four simulated engines.
 
@@ -422,7 +594,11 @@ def create_engine(
         cls = _ENGINE_CLASSES[name]
     except KeyError:
         raise ValueError(f"unknown engine {name!r}") from None
-    return cls(faults_enabled=faults_enabled, gate_scale=gate_scale)
+    return cls(
+        faults_enabled=faults_enabled,
+        gate_scale=gate_scale,
+        execution_mode=execution_mode,
+    )
 
 
 @dataclass(frozen=True)
@@ -439,10 +615,12 @@ class EngineSpec:
     _: KW_ONLY
     faults_enabled: bool = True
     gate_scale: float = 1.0
+    execution_mode: str = "interpreted"
 
     def create(self) -> GraphDatabase:
         return create_engine(
             self.name,
             faults_enabled=self.faults_enabled,
             gate_scale=self.gate_scale,
+            execution_mode=self.execution_mode,
         )

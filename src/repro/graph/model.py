@@ -150,6 +150,17 @@ class PropertyGraph:
         self._sorted_in: Dict[int, List[Relationship]] = {}
         self._sorted_label: Dict[str, List[Node]] = {}
         self._sorted_nodes: Optional[List[Node]] = None
+        # Lazily built per-type adjacency and per-property-name value
+        # indexes used by the compiled operator pipeline
+        # (:mod:`repro.engine.plan`).  The property index additionally goes
+        # stale when an element's properties mutate in place, so the
+        # executor's write clauses call invalidate_property_index().
+        self._sorted_out_by_type: Dict[Tuple[int, str], List[Relationship]] = {}
+        self._sorted_in_by_type: Dict[Tuple[int, str], List[Relationship]] = {}
+        self._property_index: Dict[str, Dict[tuple, List[Node]]] = {}
+        # (node_id, direction, rel_type or None) -> [(rel, far node id)]
+        # in the matcher's enumeration order; see expand_pairs().
+        self._expand_pairs: Dict[tuple, List[tuple]] = {}
 
     def _invalidate_sorted_views(self) -> None:
         if self._sorted_out:
@@ -159,6 +170,25 @@ class PropertyGraph:
         if self._sorted_label:
             self._sorted_label = {}
         self._sorted_nodes = None
+        if self._sorted_out_by_type:
+            self._sorted_out_by_type = {}
+        if self._sorted_in_by_type:
+            self._sorted_in_by_type = {}
+        if self._property_index:
+            self._property_index = {}
+        if self._expand_pairs:
+            self._expand_pairs = {}
+
+    def invalidate_property_index(self) -> None:
+        """Drop the lazily-built property-value index.
+
+        Structural mutations invalidate every cached view automatically;
+        this hook covers in-place property mutation (``SET`` / ``REMOVE``),
+        which leaves the structural views valid but can move nodes between
+        property-index buckets.
+        """
+        if self._property_index:
+            self._property_index = {}
 
     # -- construction -------------------------------------------------
 
@@ -320,6 +350,106 @@ class PropertyGraph:
         if self._sorted_nodes is None:
             self._sorted_nodes = sorted(self._nodes.values(), key=_node_id)
         return self._sorted_nodes
+
+    def outgoing_sorted_by_type(self, node_id: int, rel_type: str) -> List[Relationship]:
+        """Outgoing relationships of one type, sorted by id (cached).
+
+        Typed adjacency lets the compiled expand operator skip candidates
+        the matcher would reject on the (cheap, first) type check, while
+        preserving the id-sorted enumeration order of
+        :meth:`outgoing_sorted` restricted to that type.
+        """
+        key = (node_id, rel_type)
+        rels = self._sorted_out_by_type.get(key)
+        if rels is None:
+            rels = [r for r in self.outgoing_sorted(node_id) if r.type == rel_type]
+            self._sorted_out_by_type[key] = rels
+        return rels
+
+    def incoming_sorted_by_type(self, node_id: int, rel_type: str) -> List[Relationship]:
+        """Incoming relationships of one type, sorted by id (cached)."""
+        key = (node_id, rel_type)
+        rels = self._sorted_in_by_type.get(key)
+        if rels is None:
+            rels = [r for r in self.incoming_sorted(node_id) if r.type == rel_type]
+            self._sorted_in_by_type[key] = rels
+        return rels
+
+    def expand_pairs(
+        self, node_id: int, direction: str, rel_type: Optional[str] = None
+    ) -> List[tuple]:
+        """``(relationship, far node id)`` pairs from one node (cached).
+
+        Enumeration order is the matcher's: outgoing before incoming, each
+        id-sorted, with self-loops suppressed on the incoming side of an
+        undirected (``both``) step because the outgoing side already
+        produced them.  The compiled expand operator iterates these lists
+        directly, so a node visited many times while backtracking pays the
+        pair construction once.
+        """
+        key = (node_id, direction, rel_type)
+        pairs = self._expand_pairs.get(key)
+        if pairs is None:
+            if rel_type is None:
+                out_rels = self.outgoing_sorted(node_id)
+                in_rels = self.incoming_sorted(node_id)
+            else:
+                out_rels = self.outgoing_sorted_by_type(node_id, rel_type)
+                in_rels = self.incoming_sorted_by_type(node_id, rel_type)
+            if direction == "out":
+                pairs = [(r, r.end) for r in out_rels]
+            elif direction == "in":
+                pairs = [(r, r.start) for r in in_rels]
+            else:
+                pairs = [(r, r.end) for r in out_rels] + [
+                    (r, r.start) for r in in_rels if r.start != r.end
+                ]
+            self._expand_pairs[key] = pairs
+        return pairs
+
+    @staticmethod
+    def property_index_key(value: Any) -> Optional[tuple]:
+        """Bucket key for a scalar property value, or None if unindexable.
+
+        Booleans, numbers and strings each get their own key family so that
+        Cypher-distinguishable values (``true`` vs ``1``) never share a
+        bucket, while Cypher-*equal* values always do: ints and floats are
+        folded through ``float`` because Python's cross-type numeric ``==``
+        is exact, so a ``("n", float(v))`` bucket can never miss a pair the
+        engine considers equal.  Collisions are harmless — index scans
+        re-check every candidate with the full node predicate.  Lists, maps
+        and null are not indexed (literal pushdown is scalar-only).
+        """
+        if isinstance(value, bool):
+            return ("b", value)
+        if isinstance(value, (int, float)):
+            return ("n", float(value))
+        if isinstance(value, str):
+            return ("s", value)
+        return None
+
+    def nodes_with_property_sorted(self, name: str, value: Any) -> List[Node]:
+        """Property-index lookup: nodes where ``name`` equals *value*, id-sorted.
+
+        The per-property-name index is built lazily on first lookup (the
+        analogue of the database property indexes the paper creates in
+        step 1) and dropped on any structural mutation or in-place property
+        write.  *value* must have an indexable bucket key; callers gate on
+        :meth:`property_index_key` before planning an index scan.
+        """
+        buckets = self._property_index.get(name)
+        if buckets is None:
+            buckets = {}
+            for node in self.nodes_sorted():
+                if name in node.properties:
+                    key = self.property_index_key(node.properties[name])
+                    if key is not None:
+                        buckets.setdefault(key, []).append(node)
+            self._property_index[name] = buckets
+        key = self.property_index_key(value)
+        if key is None:
+            raise ValueError(f"value {value!r} is not indexable")
+        return buckets.get(key, [])
 
     def touching(self, node_id: int) -> List[Relationship]:
         """All relationships attached to *node_id*, either direction."""

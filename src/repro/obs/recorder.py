@@ -83,6 +83,7 @@ def _execute_side_unprobed(
         spec["name"],
         faults_enabled=faults_enabled and spec.get("faults_enabled", True),
         gate_scale=spec.get("gate_scale", 1.0),
+        execution_mode=spec.get("execution_mode", "interpreted"),
     ).create()
     graph = PropertyGraph.from_dict(bundle["graph"])
     schema = (

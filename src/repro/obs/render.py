@@ -159,6 +159,52 @@ def _render_supervisor(events: List[Event]) -> List[str]:
     return lines
 
 
+def _render_plans(counters: Dict[str, Any]) -> List[str]:
+    """The ``== plans ==`` section: compiled-core cache and row counters.
+
+    Plan counters exist only when some cell ran with
+    ``--engine-mode compiled`` (dual mode deliberately flushes none, so
+    its stream matches an interpreted run's byte-for-byte); an
+    interpreted-only log gets an explicit no-data line instead of a
+    silently absent section.
+    """
+    plan: Dict[str, Any] = {}
+    rows_by_operator: Dict[str, int] = {}
+    for key, value in counters.items():
+        base, labels = split_metric_key(key)
+        if base == "plan.rows":
+            operator = labels.get("operator", "?")
+            rows_by_operator[operator] = (
+                rows_by_operator.get(operator, 0) + value
+            )
+        elif base.startswith("plan."):
+            plan[base[len("plan."):]] = plan.get(base[len("plan."):], 0) + value
+    if not plan and not rows_by_operator:
+        return [
+            "  no plan counters in log (campaign ran interpreted or dual; "
+            "re-run with --engine-mode compiled)"
+        ]
+    hits = plan.get("cache_hits", 0)
+    misses = plan.get("cache_misses", 0)
+    lookups = hits + misses
+    lines = [
+        f"  plan cache hits:   {hits:>12d}",
+        f"  plan cache misses: {misses:>12d}",
+    ]
+    if lookups:
+        lines.append(f"  hit ratio:         {hits / lookups:>12.3f}")
+    lines.append(f"  plans compiled:    {plan.get('compiles', 0):>12d}")
+    lines.append(f"  divergences:       {plan.get('divergences', 0):>12d}")
+    if rows_by_operator:
+        lines.append("  rows by operator:")
+        width = max(len(op) for op in rows_by_operator) + 2
+        for operator in sorted(rows_by_operator):
+            lines.append(
+                f"    {operator:<{width}s} {rows_by_operator[operator]:>10d}"
+            )
+    return lines
+
+
 def render_stats(events: Iterable[Event]) -> str:
     """Per-stage time/sim histograms + query accounting for an event log."""
     events = list(events)
@@ -205,11 +251,17 @@ def render_stats(events: Iterable[Event]) -> str:
         lines.extend(faults)
         lines.append("")
 
+    if snapshot.get("counters") or timings or histograms:
+        lines.append("== plans ==")
+        lines.extend(_render_plans(counters))
+        lines.append("")
+
     plain = {
         key: value
         for key, value in counters.items()
         if split_metric_key(key)[0] not in ("campaign.queries",
                                             "campaign.faults")
+        and not split_metric_key(key)[0].startswith("plan.")
     }
     if plain:
         lines.append("== counters ==")

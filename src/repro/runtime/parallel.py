@@ -89,6 +89,7 @@ class CampaignCell:
     budget_seconds: float
     gate_scale: float = 1.0
     max_queries: Optional[int] = None
+    execution_mode: str = "interpreted"
 
     @property
     def key(self) -> CellKey:
@@ -117,7 +118,11 @@ def _run_cell(spec: Dict[str, Any]) -> Tuple[Dict, List[Dict]]:
 
     engine_name = spec["engine"]
     gate_scale = spec["gate_scale"]
-    engine = EngineSpec(engine_name, gate_scale=gate_scale).create()
+    engine = EngineSpec(
+        engine_name,
+        gate_scale=gate_scale,
+        execution_mode=spec.get("execution_mode", "interpreted"),
+    ).create()
     tester = make_tester(spec["tester"], engine_name,
                          gate_scale=gate_scale)
     log = EventLog(record_queries=spec["record_queries"],
@@ -473,6 +478,7 @@ class ParallelCampaignRunner:
                 "budget_seconds": cell.budget_seconds,
                 "gate_scale": cell.gate_scale,
                 "max_queries": cell.max_queries,
+                "execution_mode": cell.execution_mode,
                 "record_queries": self.record_queries,
                 "record_metrics": self.record_metrics,
                 "record_coverage": self.record_coverage,
