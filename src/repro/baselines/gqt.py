@@ -33,6 +33,7 @@ from repro.cypher.printer import print_query
 from repro.engine.evaluator import has_aggregate
 from repro.gdb.engines import GraphDatabase
 from repro.graph.model import PropertyGraph
+from repro.runtime.protocol import SessionPolicy
 
 __all__ = [
     "GQTTester",
@@ -126,6 +127,8 @@ class GQTTester(BaselineTester):
     """Injective/surjective transformation tester."""
 
     name = "GQT"
+    # Declared explicitly (new policy-object API): one long-lived session.
+    session = SessionPolicy.long_session()
     # Table 5: 1.03 patterns, depth 2.87, 3.39 clauses, 3.43 dependencies.
     profile = GeneratorProfile(
         name="GQT",

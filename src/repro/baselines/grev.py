@@ -29,6 +29,7 @@ from repro.core.runner import BugReport, CampaignResult
 from repro.cypher import ast
 from repro.cypher.printer import print_query
 from repro.gdb.engines import GraphDatabase
+from repro.runtime.protocol import SessionPolicy
 
 __all__ = [
     "GRevTester",
@@ -131,6 +132,8 @@ class GRevTester(BaselineTester):
     """Equivalent-query-rewriting tester."""
 
     name = "GRev"
+    # Declared explicitly (new policy-object API): one long-lived session.
+    session = SessionPolicy.long_session()
     # Table 5: 6.69 patterns, depth 5.26, 6.49 clauses, 28.41 dependencies.
     profile = GeneratorProfile(
         name="GRev",

@@ -82,6 +82,18 @@ def _add_engine_mode_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_adaptive_argument(parser: argparse.ArgumentParser) -> None:
+    """``--adaptive[=STRATEGY]`` flag shared by campaign and compare."""
+    parser.add_argument(
+        "--adaptive", nargs="?", const="epsilon", default=None,
+        choices=["epsilon", "ucb"], metavar="STRATEGY",
+        help="coverage-guided adaptive synthesis: feed feature-tag and "
+             "signature-novelty feedback into the synthesizer via an "
+             "explore/exploit schedule (epsilon-decay greedy by default, "
+             "or UCB1); deterministic given the cell seed",
+    )
+
+
 def _add_supervisor_arguments(parser: argparse.ArgumentParser) -> None:
     """Cell-supervisor robustness flags shared by campaign and compare."""
     parser.add_argument(
@@ -150,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="minimize each recorded bundle (*.min.json); "
                                "requires --bundles")
     _add_engine_mode_argument(campaign)
+    _add_adaptive_argument(campaign)
     _add_supervisor_arguments(campaign)
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
@@ -175,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="minimize each recorded bundle (*.min.json); "
                               "requires --bundles")
     _add_engine_mode_argument(compare)
+    _add_adaptive_argument(compare)
     _add_supervisor_arguments(compare)
 
     stats = sub.add_parser(
@@ -289,6 +303,7 @@ def _cmd_campaign(args) -> int:
                 bundle_dir=args.bundles, reduce_bundles=args.reduce,
                 step_budget=args.step_budget,
                 execution_mode=args.engine_mode,
+                adaptive=args.adaptive,
             )
         if events is not None:
             events.close()
@@ -308,6 +323,7 @@ def _cmd_campaign(args) -> int:
             cell_timeout=args.cell_timeout, cell_retries=args.cell_retries,
             chaos=chaos, step_budget=args.step_budget,
             execution_mode=args.engine_mode,
+            adaptive=args.adaptive,
         )
 
     all_faults: List[str] = []
@@ -371,6 +387,7 @@ def _cmd_compare(args) -> int:
         cell_timeout=args.cell_timeout, cell_retries=args.cell_retries,
         chaos=chaos, step_budget=args.step_budget,
         execution_mode=args.engine_mode,
+        adaptive=args.adaptive,
     )
     by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
     # "distinct" deduplicates the raw report stream by bug signature —

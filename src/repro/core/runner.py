@@ -52,7 +52,7 @@ class GQSTester(TesterProtocol):
     name = "GQS"
     # Restart per graph: reproducible instances, at the cost of never
     # reaching the long-session accumulation crashes (§5.4.4).
-    session = SessionPolicy(restart_per_graph=True)
+    session = SessionPolicy.restart_each_graph()
 
     def __init__(
         self,
@@ -62,10 +62,12 @@ class GQSTester(TesterProtocol):
         ground_truths_per_graph: int = 3,
     ):
         self.generator_config = generator_config or GeneratorConfig()
+        self._base_generator_config = self.generator_config
         self.synthesizer_overrides = synthesizer_overrides or {}
         self.queries_per_ground_truth = queries_per_ground_truth
         self.ground_truths_per_graph = ground_truths_per_graph
         self._synthesizer_config: Optional[SynthesizerConfig] = None
+        self._weights = None
 
     # -- TesterProtocol ---------------------------------------------------
 
@@ -74,12 +76,26 @@ class GQSTester(TesterProtocol):
             engine, **self.synthesizer_overrides
         )
 
+    def apply_weights(self, weights) -> None:
+        """Adopt a policy-issued weight profile for the next graph round.
+
+        Graph-shape bumps rewrite ``generator_config`` from the declared
+        base (profiles replace, never stack); synthesizer knobs are applied
+        per-round inside :meth:`proposals` so the dialect-aware base config
+        from :meth:`campaign_begin` stays pristine.
+        """
+        self._weights = weights
+        self.generator_config = weights.apply_generator(
+            self._base_generator_config
+        )
+
     def proposals(
         self, engine: GraphDatabase, graph, schema, rng: random.Random
     ) -> Iterator[Any]:
         """Step 2 + 3: ground truths over this graph, then queries for each."""
         synthesizer = QuerySynthesizer(
-            graph, rng=rng, config=self._synthesizer_config
+            graph, rng=rng, config=self._synthesizer_config,
+            weights=self._weights,
         )
         for _gt in range(rng.randint(1, self.ground_truths_per_graph)):
             ground_truth = select_ground_truth(

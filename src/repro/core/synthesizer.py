@@ -133,10 +133,17 @@ class QuerySynthesizer:
         graph: PropertyGraph,
         rng: Optional[random.Random] = None,
         config: Optional[SynthesizerConfig] = None,
+        weights=None,
     ):
         self.graph = graph
         self.rng = rng or random.Random()
         self.config = config or SynthesizerConfig()
+        if weights is not None:
+            # A policy-issued WeightProfile (repro.runtime.adapt) rewrites
+            # a *copy* of the config, so the caller's config object — often
+            # shared across graph rounds — is never mutated.
+            self.config = weights.apply_synthesizer(self.config)
+        self.weights = weights
         self.expressions = ExpressionFactory(
             graph, self.rng,
             use_comprehensions=self.config.use_list_comprehensions,

@@ -125,9 +125,15 @@ def run_tool_campaign(
     reduce_bundles: bool = False,
     step_budget: Optional[int] = None,
     execution_mode: str = "interpreted",
+    adaptive: Optional[str] = None,
 ) -> Optional[CampaignResult]:
     """Run one tool against one engine through the shared campaign kernel;
     None when unsupported.
+
+    ``adaptive`` swaps the tester's session policy for an
+    :class:`repro.runtime.adapt.AdaptivePolicy` with that strategy
+    (``"epsilon"`` or ``"ucb"``), closing the coverage-guided synthesis
+    feedback loop; the campaign then emits an ``adaptation`` event.
 
     ``record_coverage`` / ``record_triage`` switch on the second
     observability tier (``coverage`` / ``triage`` events in *events*);
@@ -145,6 +151,10 @@ def run_tool_campaign(
         engine_name, gate_scale=gate_scale, execution_mode=execution_mode
     )
     tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
+    if adaptive:
+        from repro.runtime.adapt import attach_adaptive_policy
+
+        attach_adaptive_policy(tester, adaptive)
     recorder = None
     if bundle_dir is not None:
         from repro.obs import FlightRecorder
@@ -171,6 +181,7 @@ def campaign_grid_cells(
     max_queries: Optional[int] = None,
     derive_seeds: bool = False,
     execution_mode: str = "interpreted",
+    adaptive: Optional[str] = None,
 ) -> list:
     """Build the (tester × engine × seed) cell list, skipping unsupported
     pairings (the "-" cells of Tables 4 and 6).
@@ -200,6 +211,7 @@ def campaign_grid_cells(
                         gate_scale=gate_scale,
                         max_queries=max_queries,
                         execution_mode=execution_mode,
+                        adaptive=adaptive,
                     )
                 )
     return cells
@@ -228,6 +240,7 @@ def run_campaign_grid(
     chaos=None,
     step_budget: Optional[int] = None,
     execution_mode: str = "interpreted",
+    adaptive: Optional[str] = None,
 ) -> Dict[CellKey, CampaignResult]:
     """Run a full campaign grid, optionally parallel and resumable.
 
@@ -257,6 +270,7 @@ def run_campaign_grid(
         max_queries=max_queries,
         derive_seeds=derive_seeds,
         execution_mode=execution_mode,
+        adaptive=adaptive,
     )
     runner = ParallelCampaignRunner(
         jobs=jobs, events_path=events_path, record_metrics=record_metrics,

@@ -4,6 +4,7 @@ from repro.gdb.catalog import all_faults, build_catalog, faults_for, gqs_scope_f
 from repro.gdb.dialects import DIALECTS, FALKORDB, KUZU, MEMGRAPH, NEO4J, Dialect
 from repro.gdb.engines import (
     ALL_ENGINE_NAMES,
+    EngineOptions,
     EngineSpec,
     FalkorDBSim,
     GraphDatabase,
@@ -28,6 +29,7 @@ __all__ = [
     "KuzuSim",
     "FalkorDBSim",
     "ReferenceGDB",
+    "EngineOptions",
     "EngineSpec",
     "create_engine",
     "ALL_ENGINE_NAMES",

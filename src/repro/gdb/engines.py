@@ -16,7 +16,7 @@ root-cause deduplication the paper performs (§7, Limitations).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import KW_ONLY, dataclass
+from dataclasses import KW_ONLY, dataclass, replace
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Union
 
@@ -52,6 +52,7 @@ __all__ = [
     "KuzuSim",
     "FalkorDBSim",
     "ReferenceGDB",
+    "EngineOptions",
     "EngineSpec",
     "create_engine",
     "ALL_ENGINE_NAMES",
@@ -66,6 +67,54 @@ ALL_ENGINE_NAMES = ("neo4j", "memgraph", "kuzu", "falkordb")
 # the reference interpreter, the compiled operator pipeline, or both with a
 # differential self-check (any mismatch raises PlanDivergenceError).
 EXECUTION_MODES = ("interpreted", "compiled", "dual")
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Unified engine tuning knobs (the former scatter of keyword args).
+
+    One frozen value object carries every cross-cutting engine switch:
+    fault injection on/off, the §5.4.4 latency-compression ``gate_scale``,
+    the default ``restart`` behavior for :meth:`GraphDatabase.load_graph` /
+    :meth:`GraphDatabase.session`, and the execution mode.  Everything that
+    builds engines — :class:`GraphDatabase` and subclasses,
+    :func:`create_engine`, :class:`EngineSpec` — accepts one of these;
+    the old keyword arguments remain supported and, when given, override
+    the corresponding option field.
+    """
+
+    faults_enabled: bool = True
+    gate_scale: float = 1.0
+    restart: bool = True
+    execution_mode: str = "interpreted"
+
+    def __post_init__(self):
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.execution_mode!r}; expected "
+                f"one of {EXECUTION_MODES}"
+            )
+
+    def merged(
+        self,
+        *,
+        faults_enabled: Optional[bool] = None,
+        gate_scale: Optional[float] = None,
+        restart: Optional[bool] = None,
+        execution_mode: Optional[str] = None,
+    ) -> "EngineOptions":
+        """A copy with any non-None legacy keyword overrides applied."""
+        updates = {
+            name: value
+            for name, value in (
+                ("faults_enabled", faults_enabled),
+                ("gate_scale", gate_scale),
+                ("restart", restart),
+                ("execution_mode", execution_mode),
+            )
+            if value is not None
+        }
+        return replace(self, **updates) if updates else self
 
 
 class Session:
@@ -128,25 +177,35 @@ class GraphDatabase:
         self,
         dialect: Dialect,
         faults: Optional[List[Fault]] = None,
+        options: Optional[EngineOptions] = None,
         *,
-        faults_enabled: bool = True,
-        gate_scale: float = 1.0,
-        execution_mode: str = "interpreted",
+        faults_enabled: Optional[bool] = None,
+        gate_scale: Optional[float] = None,
+        execution_mode: Optional[str] = None,
     ):
-        if execution_mode not in EXECUTION_MODES:
-            raise ValueError(
-                f"unknown execution mode {execution_mode!r}; expected one of "
-                f"{EXECUTION_MODES}"
+        # The only allowed positional tuning argument is an EngineOptions;
+        # the scalar flags stay keyword-only, as before the unification.
+        if options is not None and not isinstance(options, EngineOptions):
+            raise TypeError(
+                f"options must be an EngineOptions, got {options!r}; "
+                "pass tuning flags by keyword"
             )
+        # Legacy keyword args override the unified options object, so every
+        # pre-EngineOptions call site keeps its exact behavior.
+        self.options = (options or EngineOptions()).merged(
+            faults_enabled=faults_enabled,
+            gate_scale=gate_scale,
+            execution_mode=execution_mode,
+        )
         self.dialect = dialect
         self.name = dialect.name
-        self.execution_mode = execution_mode
+        self.execution_mode = self.options.execution_mode
         # gate_scale < 1 compresses fault latency: the experiment harness
         # uses it to emulate the paper's months-long full campaign within a
         # benchmark-sized run (documented in EXPERIMENTS.md).
-        self.gate_scale = gate_scale
+        self.gate_scale = self.options.gate_scale
         self.faults = list(faults) if faults is not None else faults_for(dialect.name)
-        self.faults_enabled = faults_enabled
+        self.faults_enabled = self.options.faults_enabled
         self.graph: Optional[PropertyGraph] = None
         self.schema: Optional[GraphSchema] = None
         self.last_fired_fault: Optional[Fault] = None
@@ -182,14 +241,17 @@ class GraphDatabase:
         graph: PropertyGraph,
         schema: Optional[GraphSchema] = None,
         *,
-        restart: bool = True,
+        restart: Optional[bool] = None,
     ) -> None:
         """Load (a copy of) *graph*; optionally restart the instance.
 
         GQS restarts the engine per graph for reproducibility; long-session
         testers pass ``restart=False`` so engine state accumulates
-        (§5.4.4's crash-bug trade-off).
+        (§5.4.4's crash-bug trade-off).  When *restart* is omitted the
+        engine's :class:`EngineOptions` default applies.
         """
+        if restart is None:
+            restart = self.options.restart
         if self.dialect.requires_schema and schema is None:
             raise CypherRuntimeError(
                 f"{self.dialect.display_name} requires a schema before "
@@ -212,7 +274,7 @@ class GraphDatabase:
         graph: Optional[PropertyGraph] = None,
         schema: Optional[GraphSchema] = None,
         *,
-        restart: bool = True,
+        restart: Optional[bool] = None,
     ) -> Session:
         """Open a driver-style :class:`Session`, optionally loading *graph*.
 
@@ -525,36 +587,48 @@ class GraphDatabase:
 class Neo4jSim(GraphDatabase):
     """Simulated Neo4j: on-disk, strict types, full procedure support."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
-                 execution_mode: str = "interpreted"):
-        super().__init__(DIALECTS["neo4j"], faults_enabled=faults_enabled,
+    def __init__(self, options: Optional[EngineOptions] = None, *,
+                 faults_enabled: Optional[bool] = None,
+                 gate_scale: Optional[float] = None,
+                 execution_mode: Optional[str] = None):
+        super().__init__(DIALECTS["neo4j"], options=options,
+                         faults_enabled=faults_enabled,
                          gate_scale=gate_scale, execution_mode=execution_mode)
 
 
 class MemgraphSim(GraphDatabase):
     """Simulated Memgraph: in-memory, lenient runtime types, no db.labels."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
-                 execution_mode: str = "interpreted"):
-        super().__init__(DIALECTS["memgraph"], faults_enabled=faults_enabled,
+    def __init__(self, options: Optional[EngineOptions] = None, *,
+                 faults_enabled: Optional[bool] = None,
+                 gate_scale: Optional[float] = None,
+                 execution_mode: Optional[str] = None):
+        super().__init__(DIALECTS["memgraph"], options=options,
+                         faults_enabled=faults_enabled,
                          gate_scale=gate_scale, execution_mode=execution_mode)
 
 
 class KuzuSim(GraphDatabase):
     """Simulated Kùzu: schema-first, no relationship-uniqueness guarantee."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
-                 execution_mode: str = "interpreted"):
-        super().__init__(DIALECTS["kuzu"], faults_enabled=faults_enabled,
+    def __init__(self, options: Optional[EngineOptions] = None, *,
+                 faults_enabled: Optional[bool] = None,
+                 gate_scale: Optional[float] = None,
+                 execution_mode: Optional[str] = None):
+        super().__init__(DIALECTS["kuzu"], options=options,
+                         faults_enabled=faults_enabled,
                          gate_scale=gate_scale, execution_mode=execution_mode)
 
 
 class FalkorDBSim(GraphDatabase):
     """Simulated FalkorDB: no relationship uniqueness, rounded float output."""
 
-    def __init__(self, *, faults_enabled: bool = True, gate_scale: float = 1.0,
-                 execution_mode: str = "interpreted"):
-        super().__init__(DIALECTS["falkordb"], faults_enabled=faults_enabled,
+    def __init__(self, options: Optional[EngineOptions] = None, *,
+                 faults_enabled: Optional[bool] = None,
+                 gate_scale: Optional[float] = None,
+                 execution_mode: Optional[str] = None):
+        super().__init__(DIALECTS["falkordb"], options=options,
+                         faults_enabled=faults_enabled,
                          gate_scale=gate_scale, execution_mode=execution_mode)
 
 
@@ -564,8 +638,13 @@ class ReferenceGDB(GraphDatabase):
     def __init__(self, name: str = "reference",
                  execution_mode: str = "interpreted"):
         dialect = DIALECTS["neo4j"]
-        super().__init__(dialect, faults=[], faults_enabled=False,
-                         execution_mode=execution_mode)
+        super().__init__(
+            dialect,
+            faults=[],
+            options=EngineOptions(
+                faults_enabled=False, execution_mode=execution_mode
+            ),
+        )
         self.name = name
 
 
@@ -579,14 +658,17 @@ _ENGINE_CLASSES = {
 
 def create_engine(
     name: str,
+    options: Optional[EngineOptions] = None,
     *,
-    faults_enabled: bool = True,
-    gate_scale: float = 1.0,
-    execution_mode: str = "interpreted",
+    faults_enabled: Optional[bool] = None,
+    gate_scale: Optional[float] = None,
+    execution_mode: Optional[str] = None,
 ) -> GraphDatabase:
     """Factory for the four simulated engines.
 
-    The tuning flags are keyword-only — ``create_engine("neo4j",
+    Tuning arrives either as one :class:`EngineOptions` value or via the
+    legacy keyword flags (which override option fields when both are
+    given).  The flags stay keyword-only — ``create_engine("neo4j",
     gate_scale=0.1)`` reads unambiguously at call sites, and positional
     booleans cannot silently swap.
     """
@@ -595,6 +677,7 @@ def create_engine(
     except KeyError:
         raise ValueError(f"unknown engine {name!r}") from None
     return cls(
+        options=options,
         faults_enabled=faults_enabled,
         gate_scale=gate_scale,
         execution_mode=execution_mode,
@@ -608,7 +691,10 @@ class EngineSpec:
     Engine instances hold a loaded graph and a live executor, so they never
     cross process boundaries; the parallel campaign runner ships this spec
     instead and each worker calls :meth:`create` locally.  The tuning
-    fields are keyword-only, matching :func:`create_engine`.
+    fields are keyword-only, matching :func:`create_engine`; the
+    :class:`EngineOptions` bridge (:meth:`from_options` / :meth:`options`)
+    converts between the two forms without changing the pickled layout or
+    the flight-recorder bundle format.
     """
 
     name: str
@@ -617,10 +703,21 @@ class EngineSpec:
     gate_scale: float = 1.0
     execution_mode: str = "interpreted"
 
-    def create(self) -> GraphDatabase:
-        return create_engine(
-            self.name,
+    @classmethod
+    def from_options(cls, name: str, options: EngineOptions) -> "EngineSpec":
+        return cls(
+            name,
+            faults_enabled=options.faults_enabled,
+            gate_scale=options.gate_scale,
+            execution_mode=options.execution_mode,
+        )
+
+    def options(self) -> EngineOptions:
+        return EngineOptions(
             faults_enabled=self.faults_enabled,
             gate_scale=self.gate_scale,
             execution_mode=self.execution_mode,
         )
+
+    def create(self) -> GraphDatabase:
+        return create_engine(self.name, self.options())

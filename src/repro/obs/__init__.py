@@ -35,7 +35,9 @@ for any worker count.
 """
 
 from repro.obs.coverage import (
+    COVERAGE_SCHEMA_VERSION,
     CellCoverage,
+    CoverageSchemaError,
     coverage_curve,
     merge_coverage_snapshots,
     query_feature_tags,
@@ -63,6 +65,7 @@ from repro.obs.recorder import (
     replay_bundle,
 )
 from repro.obs.render import (
+    adaptation_snapshots_in,
     merged_snapshot_from_events,
     render_bugs,
     render_coverage,
@@ -80,8 +83,11 @@ from repro.obs.triage import (
 
 __all__ = [
     "BUNDLE_FORMAT",
+    "COVERAGE_SCHEMA_VERSION",
     "CellCoverage",
     "CellTriage",
+    "CoverageSchemaError",
+    "adaptation_snapshots_in",
     "FlightRecorder",
     "ReplayOutcome",
     "coverage_curve",

@@ -32,11 +32,44 @@ __all__ = [
     "query_feature_tags",
     "feature_kind",
     "CellCoverage",
+    "CoverageSchemaError",
+    "COVERAGE_SCHEMA_VERSION",
     "merge_coverage_snapshots",
     "coverage_curve",
 ]
 
 AnyQuery = Any  # ast.Query | ast.UnionQuery
+
+#: Version stamp written into every coverage snapshot.  Bump when the
+#: snapshot layout changes incompatibly; the mergers refuse mixed versions
+#: instead of silently mis-merging them.
+COVERAGE_SCHEMA_VERSION = 1
+
+
+class CoverageSchemaError(ValueError):
+    """A coverage snapshot carries an incompatible schema version.
+
+    Raised by :func:`merge_coverage_snapshots` and :func:`coverage_curve`
+    instead of silently merging mismatched layouts; names the offending
+    cell so a bad resume log is traceable to its source.
+    """
+
+    def __init__(self, cell: str, found: Any, expected: int):
+        self.cell = cell
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"coverage snapshot for cell {cell} has schema version "
+            f"{found!r}; this build reads version {expected}"
+        )
+
+
+def _check_schema(snapshot: Dict[str, Any], cell: str) -> None:
+    # Snapshots from builds predating the stamp carry no ``schema`` key;
+    # they are layout-compatible with version 1 and accepted as-is.
+    version = snapshot.get("schema", COVERAGE_SCHEMA_VERSION)
+    if version != COVERAGE_SCHEMA_VERSION:
+        raise CoverageSchemaError(cell, version, COVERAGE_SCHEMA_VERSION)
 
 # Expression nesting deeper than this is tagged ``depth:5+`` — the paper's
 # complexity histograms (Figure 12) flatten the tail the same way.
@@ -194,6 +227,7 @@ class CellCoverage:
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready per-cell coverage snapshot with stable key order."""
         return {
+            "schema": COVERAGE_SCHEMA_VERSION,
             "tester": self.tester,
             "engine": self.engine,
             "seed": self.seed,
@@ -223,8 +257,13 @@ def merge_coverage_snapshots(
     feature counts, the grid-level first-seen indices (computed over the
     concatenated query sequence), and the grid coverage curve are identical
     for any worker count and any completion order.
+
+    Every input snapshot's schema version is validated first;
+    :class:`CoverageSchemaError` names the offending cell.
     """
     ordered = sorted(snapshots, key=_cell_key)
+    for snap in ordered:
+        _check_schema(snap, "/".join(str(p) for p in _cell_key(snap)))
     counts: Dict[str, int] = {}
     first_seen: Dict[str, int] = {}
     curve: List[List[int]] = []
@@ -259,6 +298,7 @@ def merge_coverage_snapshots(
                 curve.append(point)
         offset += snap.get("queries", 0)
     return {
+        "schema": COVERAGE_SCHEMA_VERSION,
         "queries": offset,
         "features": {
             tag: [counts[tag], first_seen[tag]] for tag in sorted(counts)
@@ -269,5 +309,10 @@ def merge_coverage_snapshots(
 
 
 def coverage_curve(snapshot: Dict[str, Any]) -> List[Tuple[int, int]]:
-    """The ``(queries, distinct features)`` curve of a coverage snapshot."""
+    """The ``(queries, distinct features)`` curve of a coverage snapshot.
+
+    Raises :class:`CoverageSchemaError` on a snapshot written by an
+    incompatible build rather than decoding its curve as garbage.
+    """
+    _check_schema(snapshot, "/".join(str(p) for p in _cell_key(snapshot)))
     return [(int(q), int(n)) for q, n in snapshot.get("curve", ())]

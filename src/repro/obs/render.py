@@ -159,6 +159,71 @@ def _render_supervisor(events: List[Event]) -> List[str]:
     return lines
 
 
+def adaptation_snapshots_in(events: Iterable[Event]) -> List[Event]:
+    """Adaptation events to merge: campaign scope, else grid rollups."""
+    all_adapt = [e for e in events if e.get("event") == "adaptation"]
+    campaign_scoped = [e for e in all_adapt
+                       if e.get("scope") == "campaign"]
+    return campaign_scoped or all_adapt
+
+
+def _render_adaptation(events: List[Event]) -> List[str]:
+    """The ``== adaptation ==`` section: bandit counters per feature arm.
+
+    Works without ``--metrics`` — adaptation is event-based, emitted once
+    per adaptive campaign.  Campaign-scoped snapshots are merged here (the
+    grid barrier already merged its own rollup; preferring the per-cell
+    events keeps single-cell and resumed logs consistent).
+    """
+    snaps = adaptation_snapshots_in(events)
+    if not snaps:
+        return []
+    # Merge lazily: repro.obs must not import the runtime layer at module
+    # scope (the runtime kernel imports repro.obs).
+    from repro.runtime.adapt import merge_adaptation_snapshots
+
+    tagged = []
+    for event in snaps:
+        snapshot = dict(event.get("snapshot") or {})
+        if event.get("scope") == "campaign":
+            snapshot.setdefault("tester", event.get("tester"))
+            snapshot.setdefault("engine", event.get("engine"))
+            snapshot.setdefault("seed", event.get("seed"))
+            tagged.append(snapshot)
+        else:
+            # A grid rollup is already merged; render it as-is.
+            return _adaptation_lines(snapshot)
+    return _adaptation_lines(merge_adaptation_snapshots(tagged))
+
+
+def _adaptation_lines(merged: Dict[str, Any]) -> List[str]:
+    strategies = merged.get("strategies") or (
+        [merged["strategy"]] if merged.get("strategy") else []
+    )
+    lines = [
+        f"  strategy: {', '.join(strategies) or '?'}",
+        f"  cells: {merged.get('cells', 1)}   "
+        f"rounds: {merged.get('rounds', 0)}   "
+        f"queries observed: {merged.get('observed', 0)}   "
+        f"novel signatures: {merged.get('novel', 0)}",
+    ]
+    arms = merged.get("arms", {})
+    if arms:
+        width = max(len(name) for name in arms) + 2
+        lines.append(
+            f"    {'arm':<{width}s} {'selected':>9s} {'expressed':>10s} "
+            f"{'novel':>6s}"
+        )
+        for name in sorted(arms):
+            counters = arms[name]
+            lines.append(
+                f"    {name:<{width}s} {counters.get('selected', 0):>9d} "
+                f"{counters.get('pulls', 0):>10d} "
+                f"{counters.get('reward', 0):>6d}"
+            )
+    return lines
+
+
 def _render_plans(counters: Dict[str, Any]) -> List[str]:
     """The ``== plans ==`` section: compiled-core cache and row counters.
 
@@ -273,6 +338,12 @@ def render_stats(events: Iterable[Event]) -> str:
     if supervisor_lines:
         lines.append("== supervisor ==")
         lines.extend(supervisor_lines)
+        lines.append("")
+
+    adaptation_lines = _render_adaptation(events)
+    if adaptation_lines:
+        lines.append("== adaptation ==")
+        lines.extend(adaptation_lines)
         lines.append("")
 
     if not lines:

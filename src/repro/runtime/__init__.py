@@ -11,6 +11,16 @@ deterministic retries, and explicit quarantine holes instead of grid
 aborts (:mod:`repro.runtime.supervisor`).
 """
 
+from repro.runtime.adapt import (
+    ADAPTIVE_STRATEGIES,
+    AdaptivePolicy,
+    AdaptiveSchedule,
+    FeatureArm,
+    WeightProfile,
+    attach_adaptive_policy,
+    default_arms,
+    merge_adaptation_snapshots,
+)
 from repro.runtime.events import EventLog
 from repro.runtime.kernel import CampaignKernel
 from repro.runtime.parallel import (
@@ -31,10 +41,18 @@ from repro.runtime.supervisor import (
 )
 
 __all__ = [
+    "ADAPTIVE_STRATEGIES",
+    "AdaptivePolicy",
+    "AdaptiveSchedule",
     "BugReport",
     "CampaignResult",
     "CampaignKernel",
     "CampaignCell",
+    "FeatureArm",
+    "WeightProfile",
+    "attach_adaptive_policy",
+    "default_arms",
+    "merge_adaptation_snapshots",
     "CellFailedError",
     "CellFailure",
     "CellKey",

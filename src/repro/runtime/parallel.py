@@ -64,7 +64,7 @@ __all__ = [
 CellKey = Tuple[str, str, int]
 
 #: Snapshot-carrying event kinds merged at the grid barrier.
-_SNAPSHOT_KINDS = ("metrics", "coverage", "triage")
+_SNAPSHOT_KINDS = ("metrics", "coverage", "triage", "adaptation")
 
 
 def derive_cell_seed(tester: str, engine: str, seed: int) -> int:
@@ -90,6 +90,8 @@ class CampaignCell:
     gate_scale: float = 1.0
     max_queries: Optional[int] = None
     execution_mode: str = "interpreted"
+    # Adaptive-synthesis strategy for this cell (None = blind campaign).
+    adaptive: Optional[str] = None
 
     @property
     def key(self) -> CellKey:
@@ -125,6 +127,10 @@ def _run_cell(spec: Dict[str, Any]) -> Tuple[Dict, List[Dict]]:
     ).create()
     tester = make_tester(spec["tester"], engine_name,
                          gate_scale=gate_scale)
+    if spec.get("adaptive"):
+        from repro.runtime.adapt import attach_adaptive_policy
+
+        attach_adaptive_policy(tester, spec["adaptive"])
     log = EventLog(record_queries=spec["record_queries"],
                    record_spans=spec["record_metrics"])
 
@@ -438,6 +444,23 @@ class ParallelCampaignRunner:
                 cells=len(ordered["triage"]),
                 snapshot=merge_triage_snapshots(ordered["triage"]),
             )
+        if ordered["adaptation"]:
+            from repro.runtime.adapt import merge_adaptation_snapshots
+
+            # Tag each snapshot with its cell identity (the merge folds in
+            # sorted cell order, independent of completion order).
+            tagged = [
+                {**snap, "tester": cell.tester, "engine": cell.engine,
+                 "seed": cell.seed}
+                for cell in cells
+                for snap in snapshots["adaptation"].get(cell.key, ())
+            ]
+            log.emit(
+                "adaptation",
+                scope="grid",
+                cells=len(tagged),
+                snapshot=merge_adaptation_snapshots(tagged),
+            )
         if stats["failed"] or stats["quarantined"] or stats["truncated"]:
             log.emit("supervisor", **stats)
 
@@ -479,6 +502,7 @@ class ParallelCampaignRunner:
                 "gate_scale": cell.gate_scale,
                 "max_queries": cell.max_queries,
                 "execution_mode": cell.execution_mode,
+                "adaptive": cell.adaptive,
                 "record_queries": self.record_queries,
                 "record_metrics": self.record_metrics,
                 "record_coverage": self.record_coverage,

@@ -27,6 +27,7 @@ from repro.experiments.campaign import (
 from repro.obs import (
     CellCoverage,
     CellTriage,
+    coverage_curve,
     load_bundle,
     merge_coverage_snapshots,
     merge_triage_snapshots,
@@ -149,6 +150,48 @@ class TestMerges:
         assert entry["testers"] == ["GQS", "GRev"]
         # Sorted cell order: GQS seed 0 wins first-seen.
         assert entry["first_seen"]["seed"] == 0
+
+
+class TestCoverageSchema:
+    def snap(self):
+        cov = CellCoverage("GQS", "falkordb", 0)
+        cov.observe(parse_query("MATCH (n) RETURN n"))
+        return cov.snapshot()
+
+    def test_snapshots_are_stamped_with_current_version(self):
+        from repro.obs import COVERAGE_SCHEMA_VERSION
+
+        snap = self.snap()
+        assert snap["schema"] == COVERAGE_SCHEMA_VERSION
+        assert merge_coverage_snapshots([snap])["schema"] == (
+            COVERAGE_SCHEMA_VERSION
+        )
+
+    def test_unstamped_snapshots_accepted_for_back_compat(self):
+        # Event logs written before the stamp carry no ``schema`` key.
+        legacy = {k: v for k, v in self.snap().items() if k != "schema"}
+        assert merge_coverage_snapshots([legacy])["queries"] == 1
+        assert coverage_curve(legacy) == [(1, coverage_curve(legacy)[0][1])]
+
+    def test_merge_rejects_mismatched_version_naming_the_cell(self):
+        from repro.obs import CoverageSchemaError
+
+        good, bad = self.snap(), self.snap()
+        bad.update(schema=99, tester="GRev", seed=7)
+        with pytest.raises(CoverageSchemaError) as exc_info:
+            merge_coverage_snapshots([good, bad])
+        error = exc_info.value
+        assert error.cell == "GRev/falkordb/7"
+        assert error.found == 99 and error.expected == 1
+        assert "GRev/falkordb/7" in str(error)
+        assert isinstance(error, ValueError)  # pre-existing handlers still catch
+
+    def test_curve_rejects_mismatched_version(self):
+        from repro.obs import CoverageSchemaError
+
+        bad = dict(self.snap(), schema="2.0")
+        with pytest.raises(CoverageSchemaError, match="falkordb"):
+            coverage_curve(bad)
 
 
 class TestRngInvariance:
