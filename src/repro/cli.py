@@ -13,10 +13,12 @@ Usage (also available as ``python -m repro``):
                    [--reduce] [--cell-timeout S] [--cell-retries N]
                    [--chaos P,SEED] [--step-budget S]
                    [--engine-mode interpreted|compiled|dual]
-    repro stats    events.jsonl
-    repro trace    events.jsonl
+    repro stats    events.jsonl [--format text|json]
+    repro trace    events.jsonl [--export chrome [--out trace.json]]
+    repro watch    events.jsonl [--once] [--interval S]
+    repro report   events.jsonl [--out report.html] [--title T]
     repro coverage events.jsonl
-    repro bugs     events.jsonl
+    repro bugs     events.jsonl [--format text|json]
     repro replay   bundle.json [bundle2.json ...]
     repro reduce   bundle.json|DIR [...] [--jobs N] [--replay-budget R]
                    [--step-budget S]
@@ -33,7 +35,11 @@ so an interrupted run restarts from where it left off (``--resume``).
 With ``--metrics`` the observability layer (:mod:`repro.obs`) is switched on
 for the run: counters, histograms, and spans are collected and written into
 the event stream as ``metrics`` / ``span`` events, which ``repro stats`` and
-``repro trace`` render afterwards.  ``--coverage`` and ``--triage`` switch
+``repro trace`` render afterwards.  ``repro watch`` follows a *live* log
+(torn-line-tolerant incremental tailing, refresh-in-place view); ``repro
+report`` writes a self-contained static HTML report; ``--format json`` and
+``--export chrome`` produce machine-readable exports
+(:mod:`repro.obs.export`).  ``--coverage`` and ``--triage`` switch
 on the second tier — query-feature coverage and bug-signature triage
 snapshots (``coverage`` / ``triage`` events, rendered by ``repro coverage``
 / ``repro bugs``) — and ``--bundles DIR`` makes the flight recorder write
@@ -172,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the tester grid")
+    compare.add_argument("--format", default="text",
+                         choices=["text", "json"],
+                         help="text table (default) or machine-readable "
+                              "JSON rows")
     compare.add_argument("--events", default=None,
                          help="append the JSONL event stream to this path")
     compare.add_argument("--resume", default=None,
@@ -195,11 +205,39 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="render metrics from a recorded event log"
     )
     stats.add_argument("events", help="JSONL event log written with --metrics")
+    stats.add_argument("--format", default="text", choices=["text", "json"],
+                       help="text tables (default) or machine-readable JSON")
 
     trace = sub.add_parser(
         "trace", help="render the span tree from a recorded event log"
     )
     trace.add_argument("events", help="JSONL event log written with --metrics")
+    trace.add_argument("--export", default=None, choices=["chrome"],
+                       help="emit Chrome trace-event JSON (chrome://tracing) "
+                            "instead of the text tree")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write the export to PATH instead of stdout")
+
+    watch = sub.add_parser(
+        "watch",
+        help="follow a (possibly still growing) event log live",
+    )
+    watch.add_argument("events", help="JSONL event log of a running campaign")
+    watch.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit (for scripting)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="poll/refresh interval (default: 2s)")
+
+    report = sub.add_parser(
+        "report",
+        help="write a self-contained static HTML report from an event log",
+    )
+    report.add_argument("events", help="JSONL event log of a finished run")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: the log path with .html)")
+    report.add_argument("--title", default=None,
+                        help="report title (default: derived from the log)")
 
     coverage = sub.add_parser(
         "coverage", help="render query-feature coverage from an event log"
@@ -212,6 +250,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bugs", help="render the distinct-bug table from an event log"
     )
     bugs.add_argument("events", help="JSONL event log written with --triage")
+    bugs.add_argument("--format", default="text", choices=["text", "json"],
+                      help="text table (default) or machine-readable JSON")
 
     replay = sub.add_parser(
         "replay", help="replay flight-recorder repro bundle(s)"
@@ -394,19 +434,42 @@ def _cmd_compare(args) -> int:
     # "bugs" counts injected faults (white-box), "reports" every
     # discrepancy the tester surfaced (including false positives).
     dedup = distinct_bug_summary(grid)
-    print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} "
-          f"{'FPs':>5s} {'reports':>8s} {'distinct':>9s}")
+    rows = []
     for tool in TESTER_NAMES:
         result = by_tool.get(tool)
         if result is None:
-            print(f"{tool:>9s} {'-':>8s}")
+            rows.append({"tester": tool, "completed": False})
             continue
         logic, other = split_fault_counts(result.detected_faults)
         entry = dedup.get(tool, {"reports": 0, "distinct": 0})
+        rows.append({
+            "tester": tool,
+            "completed": True,
+            "queries": result.queries_run,
+            "bugs": logic + other,
+            "logic": logic,
+            "false_positives": result.false_positive_count,
+            "reports": entry["reports"],
+            "distinct": entry["distinct"],
+        })
+    if args.format == "json":
+        import json
+
+        from repro.obs.export import compare_json
+
+        print(json.dumps(compare_json(args.engine, rows, seed=args.seed),
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} "
+          f"{'FPs':>5s} {'reports':>8s} {'distinct':>9s}")
+    for row in rows:
+        if not row["completed"]:
+            print(f"{row['tester']:>9s} {'-':>8s}")
+            continue
         print(
-            f"{tool:>9s} {result.queries_run:8d} {logic + other:5d} "
-            f"{logic:6d} {result.false_positive_count:5d} "
-            f"{entry['reports']:8d} {entry['distinct']:9d}"
+            f"{row['tester']:>9s} {row['queries']:8d} {row['bugs']:5d} "
+            f"{row['logic']:6d} {row['false_positives']:5d} "
+            f"{row['reports']:8d} {row['distinct']:9d}"
         )
     return 0
 
@@ -435,12 +498,33 @@ def _load_events(path: str) -> Optional[list]:
     return load_event_stream(path)
 
 
+def _warn_skipped(events) -> None:
+    """One-line warning when the log lost lines to truncation/tearing."""
+    skipped = getattr(events, "skipped", 0)
+    if skipped:
+        print(
+            f"warning: {skipped} torn/undecodable line(s) skipped — "
+            "the log was truncated mid-write; totals may undercount",
+            file=sys.stderr,
+        )
+
+
 def _cmd_stats(args) -> int:
+    import json
+
     from repro.obs import render_stats
+    from repro.obs.export import stats_json
 
     events = _load_events(args.events)
     if events is None:
         return 2
+    _warn_skipped(events)
+    if args.format == "json":
+        print(json.dumps(
+            stats_json(events, skipped=getattr(events, "skipped", 0)),
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print(render_stats(events))
     return 0
 
@@ -451,7 +535,82 @@ def _cmd_trace(args) -> int:
     events = _load_events(args.events)
     if events is None:
         return 2
+    if args.export == "chrome":
+        import json
+
+        from repro.obs.export import chrome_trace
+
+        payload = json.dumps(chrome_trace(events), indent=2, sort_keys=True)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(payload + "\n", encoding="utf-8")
+            print(f"chrome trace written to {args.out}")
+        else:
+            print(payload)
+        return 0
     print(render_trace(events))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import time
+
+    from pathlib import Path
+
+    from repro.obs.follow import EventFollower, render_watch
+
+    if args.once and not Path(args.events).exists():
+        print(f"no such event log: {args.events}", file=sys.stderr)
+        return 2
+    follower = EventFollower(args.events)
+    if args.once:
+        follower.poll()
+        print(render_watch(follower))
+        return 0
+    interval = max(args.interval, 0.05)
+    last_queries = 0
+    last_time = time.monotonic()
+    rate = None
+    try:
+        while True:
+            follower.poll()
+            now = time.monotonic()
+            if now > last_time:
+                rate = (follower.total_queries - last_queries) / (
+                    now - last_time
+                )
+            last_queries, last_time = follower.total_queries, now
+            # Refresh in place: home the cursor, repaint, clear the rest.
+            frame = render_watch(follower, rate=rate)
+            sys.stdout.write("\x1b[H" + frame + "\x1b[J\n")
+            sys.stdout.flush()
+            if follower.finished:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.export import html_report
+
+    events = _load_events(args.events)
+    if events is None:
+        return 2
+    _warn_skipped(events)
+    source = Path(args.events)
+    out = Path(args.out) if args.out else source.with_suffix(".html")
+    title = args.title or f"repro campaign report — {source.name}"
+    out.write_text(
+        html_report(events, title=title,
+                    skipped=getattr(events, "skipped", 0)),
+        encoding="utf-8",
+    )
+    print(f"report written to {out}")
     return 0
 
 
@@ -471,6 +630,13 @@ def _cmd_bugs(args) -> int:
     events = _load_events(args.events)
     if events is None:
         return 2
+    if args.format == "json":
+        import json
+
+        from repro.obs.export import bugs_json
+
+        print(json.dumps(bugs_json(events), indent=2, sort_keys=True))
+        return 0
     print(render_bugs(events))
     return 0
 
@@ -677,6 +843,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "watch": _cmd_watch,
+        "report": _cmd_report,
         "coverage": _cmd_coverage,
         "bugs": _cmd_bugs,
         "replay": _cmd_replay,

@@ -30,6 +30,7 @@ __all__ = [
     "load_campaign",
     "event_to_json_line",
     "save_event_stream",
+    "EventStream",
     "load_event_stream",
     "completed_cells_from_events",
 ]
@@ -119,13 +120,27 @@ def save_event_stream(
             handle.write(event_to_json_line(event) + "\n")
 
 
-def load_event_stream(path: Union[str, Path]) -> List[Dict[str, Any]]:
+class EventStream(List[Dict[str, Any]]):
+    """A loaded event list that also remembers how many lines were torn.
+
+    Behaves exactly like the plain list every existing caller expects;
+    ``skipped`` carries the count of undecodable (torn/truncated) lines so
+    consumers such as ``repro stats`` can warn that the log lost data
+    instead of silently under-counting.
+    """
+
+    skipped: int = 0
+
+
+def load_event_stream(path: Union[str, Path]) -> EventStream:
     """Read a JSONL event stream, skipping blank/truncated trailing lines.
 
     Tolerating a torn final line matters: resumable logs are written by
-    runs that may be killed mid-write.
+    runs that may be killed mid-write.  The number of skipped lines is
+    recorded on the returned :class:`EventStream` (``.skipped``).
     """
-    events: List[Dict[str, Any]] = []
+    events = EventStream()
+    skipped = 0
     for line in Path(path).read_text(encoding="utf-8").splitlines():
         line = line.strip()
         if not line:
@@ -133,7 +148,9 @@ def load_event_stream(path: Union[str, Path]) -> List[Dict[str, Any]]:
         try:
             events.append(json.loads(line))
         except json.JSONDecodeError:
+            skipped += 1
             continue
+    events.skipped = skipped
     return events
 
 

@@ -63,6 +63,9 @@ class ExecutionContext:
     survives ``load_graph``.  ``profile`` is either ``None`` (observability
     off, or dual mode where the compiled leg must stay invisible) or a
     plain dict of per-operator row tallies the engine flushes per query.
+    ``op_profile`` (same gating) is the boundary-level operator profiler —
+    an :class:`repro.obs.profile.OperatorProfile` accumulating wall time,
+    invocations, and evaluation steps per operator.
 
     ``evaluator`` is a plan-private tree-walking evaluator used only by the
     cold aggregate-recombination path; its probe tallies are deliberately
@@ -70,18 +73,20 @@ class ExecutionContext:
     ``evaluator.calls`` metric.
     """
 
-    __slots__ = ("graph", "procedures", "evaluator", "profile")
+    __slots__ = ("graph", "procedures", "evaluator", "profile", "op_profile")
 
     def __init__(
         self,
         graph: PropertyGraph,
         procedures: Optional[Dict[str, Any]] = None,
         profile: Optional[Dict[str, int]] = None,
+        op_profile: Optional[Any] = None,
     ):
         self.graph = graph
         self.procedures = procedures if procedures is not None else {}
         self.evaluator = Evaluator(graph)
         self.profile = profile
+        self.op_profile = op_profile
 
 
 def _tally(ctx: ExecutionContext, operator: str, rows: int) -> None:
@@ -263,6 +268,8 @@ class MatchOp:
     constant-factor win of compiled execution.  Enumeration order is
     bit-for-bit the matcher's.
     """
+
+    label = "match"
 
     def __init__(
         self,
@@ -500,6 +507,8 @@ class MatchOp:
 class UnwindOp:
     """``UNWIND expr AS alias``: list explosion with null skipping."""
 
+    label = "unwind"
+
     def __init__(self, expr_fn: CompiledExpr, alias: str):
         self.expr_fn = expr_fn
         self.alias = alias
@@ -567,6 +576,7 @@ class ProjectOp:
         # fold closure (rows, ctx) -> value.
         self.agg_items = agg_items
         self.aggregated = agg_items is not None
+        self.label = "aggregate" if self.aggregated else "project"
         self.distinct = distinct
         self.order_fns = order_fns
         self.skip_fn = skip_fn
@@ -687,6 +697,8 @@ class ProjectOp:
 
 class CallOp:
     """``CALL proc(args) YIELD ...``: cartesian product with procedure rows."""
+
+    label = "call"
 
     def __init__(
         self,

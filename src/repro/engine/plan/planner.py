@@ -30,10 +30,12 @@ at run time, preserving the interpreter's clause-by-clause error order.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cypher import ast
 from repro.engine.binding import ResultSet
+from repro.engine.envelope import ENVELOPE
 from repro.engine.errors import CypherSyntaxError
 from repro.engine.evaluator import has_aggregate
 from repro.engine.plan.compiler import compile_expr
@@ -68,8 +70,26 @@ class CompiledPlan:
     def execute(self, ctx: ExecutionContext) -> ResultSet:
         columns: List[str] = []
         rows: List[Dict[str, Any]] = [{}]
-        for op in self.ops:
-            columns, rows = op.run(columns, rows, ctx)
+        op_profile = ctx.op_profile
+        if op_profile is None:
+            for op in self.ops:
+                columns, rows = op.run(columns, rows, ctx)
+        else:
+            # Boundary-level operator profiling (repro.obs.profile): wall
+            # time per operator plus the evaluation-step delta metered by
+            # the resource envelope (the engine arms an unreachable ceiling
+            # budget during profiled execution, so the counter always
+            # ticks).  Pure observation — no randomness, no control-flow
+            # change — so results stay byte-identical with profiling off.
+            for op in self.ops:
+                steps_before = ENVELOPE.steps
+                started = perf_counter()
+                columns, rows = op.run(columns, rows, ctx)
+                op_profile.record(
+                    op.label,
+                    ENVELOPE.steps - steps_before,
+                    perf_counter() - started,
+                )
         if self.returning:
             return ResultSet(
                 columns,
@@ -92,6 +112,20 @@ class UnionPlan:
     def execute(self, ctx: ExecutionContext) -> ResultSet:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
+        op_profile = ctx.op_profile
+        if op_profile is None:
+            return self._merge(left, right, ctx)
+        steps_before = ENVELOPE.steps
+        started = perf_counter()
+        merged = self._merge(left, right, ctx)
+        op_profile.record(
+            "union", ENVELOPE.steps - steps_before, perf_counter() - started
+        )
+        return merged
+
+    def _merge(
+        self, left: ResultSet, right: ResultSet, ctx: ExecutionContext
+    ) -> ResultSet:
         if left.columns != right.columns:
             raise CypherSyntaxError(
                 "UNION requires identical column names on both sides"

@@ -24,7 +24,7 @@ from repro.cypher import ast
 from repro.cypher.parser import parse_query
 from repro.cypher.printer import print_query
 from repro.engine.binding import ResultSet
-from repro.engine.envelope import parked_envelope
+from repro.engine.envelope import ENVELOPE, evaluation_budget, parked_envelope
 from repro.engine.errors import (
     CypherError,
     CypherRuntimeError,
@@ -43,6 +43,7 @@ from repro.graph.model import PropertyGraph
 from repro.graph.schema import GraphSchema
 from repro.obs import PROBE
 from repro.obs.coverage import query_feature_tags
+from repro.obs.profile import PROFILE_STEP_CEILING, OperatorProfile
 
 __all__ = [
     "GraphDatabase",
@@ -222,6 +223,7 @@ class GraphDatabase:
         # and survives load_graph.
         self._plan_cache = PlanCache()
         self._plan_profile: Dict[str, int] = {}
+        self._op_profile = OperatorProfile()
         # parse_query and extract_features are pure functions of the query
         # text (ASTs are never mutated after construction), so repeated
         # texts — replays, differential runs, cache-warm campaigns — skip
@@ -347,6 +349,11 @@ class GraphDatabase:
                             "plan.rows", operator=operator
                         ).inc(count)
                     self._plan_profile.clear()
+                if self._op_profile:
+                    # Boundary-level operator profile: invocations/steps as
+                    # deterministic counters, wall time as a timing
+                    # histogram (excluded from deterministic views).
+                    self._op_profile.flush(metrics)
 
     def _execute_guarded(self, query: AnyQuery) -> ResultSet:
         # Recursion guard of the evaluation resource envelope: a synthesized
@@ -441,7 +448,15 @@ class GraphDatabase:
             plan = self._plan_for(tree, text)
             if plan.is_fallback:
                 return self._executor.execute(tree)
-            return plan.execute(self._plan_context())
+            ctx = self._plan_context()
+            if ctx.op_profile is not None and ENVELOPE.limit is None:
+                # The envelope's charge sites only tick while a budget is
+                # active; an unreachable ceiling makes profiled execution
+                # count evaluation steps without ever being able to blow —
+                # no control-flow or RNG change, results stay identical.
+                with evaluation_budget(PROFILE_STEP_CEILING):
+                    return plan.execute(ctx)
+            return plan.execute(ctx)
 
         # dual: interpreted first (it owns the observable result), then the
         # compiled leg under a parked envelope so its steps neither consume
@@ -531,12 +546,15 @@ class GraphDatabase:
         # dual-mode compiled leg must stay invisible so a dual campaign's
         # events and checkpoints stay byte-identical to an interpreted one.
         profile = None
+        op_profile = None
         if PROBE.on and self.execution_mode == "compiled":
             profile = self._plan_profile
+            op_profile = self._op_profile
         return ExecutionContext(
             self.graph,
             procedures=self._executor.procedures,
             profile=profile,
+            op_profile=op_profile,
         )
 
     def _check_dialect_support(self, features) -> None:

@@ -28,6 +28,20 @@ synthesized queries exercise, and which discrepancies are the same bug:
 * :mod:`repro.obs.recorder` — the flight recorder: one self-contained,
   replayable repro bundle per newly-seen signature (``repro replay``).
 
+A third tier makes the telemetry *live* and *portable*:
+
+* :mod:`repro.obs.follow` — :class:`EventFollower`, an incremental
+  torn-line-tolerant tailer over the JSONL event stream, plus the
+  ``repro watch`` rolling view (the read side of the event-stream wire
+  protocol);
+* :mod:`repro.obs.profile` — the PROBE-gated per-operator profile of the
+  compiled execution core (wall time, invocations, evaluation steps),
+  rendered as the ``repro stats`` ``== profile ==`` table;
+* :mod:`repro.obs.export` — portable exports: Chrome trace-event JSON
+  (``repro trace --export chrome``), machine-readable stats/bugs/compare
+  JSON (``--format json``), and the self-contained static HTML report
+  (``repro report``).
+
 The contract with the runtime: instrumentation never draws randomness and
 never changes control flow, so campaign results are byte-identical with
 observability on or off; the deterministic snapshot sections are identical
@@ -57,6 +71,25 @@ from repro.obs.metrics import (
     split_metric_key,
 )
 from repro.obs.probe import PROBE, Probe, disable, enable, observed
+
+# export/follow (below) transitively import repro.obs.render → triage →
+# runtime → engine, and the engine reads PROBE back out of this package —
+# so they must load after the probe import above.
+from repro.obs.export import (
+    EXPORT_SCHEMA_VERSION,
+    bugs_json,
+    chrome_trace,
+    compare_json,
+    html_report,
+    stats_json,
+)
+from repro.obs.follow import EventFollower, render_watch
+from repro.obs.profile import (
+    PROFILE_STEP_CEILING,
+    OperatorProfile,
+    profile_rows,
+    render_profile,
+)
 from repro.obs.recorder import (
     BUNDLE_FORMAT,
     FlightRecorder,
@@ -71,6 +104,7 @@ from repro.obs.render import (
     render_coverage,
     render_stats,
     render_trace,
+    supervisor_counts,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.obs.triage import (
@@ -87,7 +121,20 @@ __all__ = [
     "CellCoverage",
     "CellTriage",
     "CoverageSchemaError",
+    "EXPORT_SCHEMA_VERSION",
+    "EventFollower",
+    "OperatorProfile",
+    "PROFILE_STEP_CEILING",
     "adaptation_snapshots_in",
+    "bugs_json",
+    "chrome_trace",
+    "compare_json",
+    "html_report",
+    "profile_rows",
+    "render_profile",
+    "render_watch",
+    "stats_json",
+    "supervisor_counts",
     "FlightRecorder",
     "ReplayOutcome",
     "coverage_curve",

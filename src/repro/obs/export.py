@@ -1,0 +1,376 @@
+"""Portable exports of a recorded event log: trace, JSON, HTML.
+
+Everything ``repro stats``/``trace``/``bugs``/``compare`` can render as
+text, this module serializes for machines and browsers:
+
+* :func:`chrome_trace` — the span samples as Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto).  Spans deliberately carry no absolute
+  wall-clock timestamps (the determinism contract strips them), so the
+  trace is laid out on the **simulated campaign clock** in microseconds —
+  one thread per grid cell, the measured ``perf_counter`` duration
+  attached in ``args``.  Events are emitted sorted per thread, so ``ts``
+  is monotone within each ``tid``.
+* :func:`stats_json` / :func:`bugs_json` / :func:`compare_json` — the
+  machine-readable twins of the text renderers, all plain
+  ``json.dumps``-able dicts with a ``schema`` version.
+* :func:`html_report` — a self-contained static HTML report (inline CSS,
+  inline SVG coverage curve, zero external requests) covering stats,
+  coverage, triage, adaptation, and the operator profile.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.coverage import merge_coverage_snapshots
+from repro.obs.metrics import split_metric_key
+from repro.obs.profile import profile_rows
+from repro.obs.render import (
+    coverage_snapshots_in,
+    merged_snapshot_from_events,
+    render_bugs,
+    render_stats,
+    render_trace,
+    supervisor_counts,
+    triage_snapshots_in,
+)
+from repro.obs.triage import merge_triage_snapshots
+
+__all__ = [
+    "EXPORT_SCHEMA_VERSION",
+    "chrome_trace",
+    "stats_json",
+    "bugs_json",
+    "compare_json",
+    "html_report",
+]
+
+Event = Dict[str, Any]
+
+EXPORT_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(events: Iterable[Event]) -> Dict[str, Any]:
+    """Span events as a Chrome trace-event JSON object.
+
+    One ``pid`` (the campaign), one ``tid`` per grid cell, complete
+    (``ph="X"``) events on the simulated clock in µs.  A log without span
+    events yields an empty (but valid) trace.
+    """
+    spans = [e for e in events if e.get("event") == "span"]
+    cells = sorted({str(span.get("cell", "?")) for span in spans})
+    tid_for = {cell: index + 1 for index, cell in enumerate(cells)}
+    trace_events: List[Dict[str, Any]] = []
+    if spans:
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+            "args": {"name": "repro campaign (simulated clock)"},
+        })
+    for cell in cells:
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": 1,
+            "tid": tid_for[cell], "args": {"name": cell},
+        })
+
+    def timeline_key(span: Event) -> Any:
+        return (
+            tid_for[str(span.get("cell", "?"))],
+            float(span.get("sim0") or 0.0),
+            int(span.get("id", 0)),
+        )
+
+    for span in sorted(spans, key=timeline_key):
+        sim0 = float(span.get("sim0") or 0.0)
+        sim1 = span.get("sim1")
+        duration = max(float(sim1) - sim0, 0.0) if sim1 is not None else 0.0
+        trace_events.append({
+            "ph": "X",
+            "name": str(span.get("name", "?")),
+            "cat": "campaign",
+            "pid": 1,
+            "tid": tid_for[str(span.get("cell", "?"))],
+            "ts": round(sim0 * 1e6, 3),
+            "dur": round(duration * 1e6, 3),
+            "args": {
+                "perf_seconds": span.get("perf"),
+                "span_id": span.get("id"),
+                "parent": span.get("parent"),
+            },
+        })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated campaign seconds (×1e6 = ts µs)",
+            "generator": "repro trace --export chrome",
+            "schema": EXPORT_SCHEMA_VERSION,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# JSON twins of the text renderers
+# ---------------------------------------------------------------------------
+
+
+def _counter_matrix(
+    counters: Dict[str, Any], name: str, row_label: str, col_label: str
+) -> Dict[str, Dict[str, int]]:
+    """``name|row,col`` counters as nested dicts (rows sorted by key)."""
+    matrix: Dict[str, Dict[str, int]] = {}
+    for key, value in counters.items():
+        base, labels = split_metric_key(key)
+        if base != name or row_label not in labels or col_label not in labels:
+            continue
+        matrix.setdefault(labels[row_label], {})[labels[col_label]] = value
+    return {row: dict(sorted(cols.items()))
+            for row, cols in sorted(matrix.items())}
+
+
+def stats_json(events: Iterable[Event], *, skipped: int = 0) -> Dict[str, Any]:
+    """The machine-readable twin of ``repro stats``."""
+    events = list(events)
+    snapshot = merged_snapshot_from_events(events)
+    counters = snapshot.get("counters", {})
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "events": len(events),
+        "skipped_lines": skipped,
+        "queries": _counter_matrix(
+            counters, "campaign.queries", "tester", "engine"
+        ),
+        "faults": _counter_matrix(
+            counters, "campaign.faults", "tester", "engine"
+        ),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(snapshot.get("gauges", {}).items())),
+        "histograms": dict(sorted(snapshot.get("histograms", {}).items())),
+        "timings": dict(sorted(snapshot.get("timings", {}).items())),
+        "profile": profile_rows(snapshot),
+        "supervisor": supervisor_counts(events),
+    }
+
+
+def bugs_json(events: Iterable[Event]) -> Dict[str, Any]:
+    """The machine-readable twin of ``repro bugs``."""
+    events = list(events)
+    snapshots = triage_snapshots_in(events)
+    merged = (
+        merge_triage_snapshots([event["snapshot"] for event in snapshots])
+        if snapshots else {"distinct": 0, "occurrences": 0, "bugs": {}}
+    )
+    bundles = [
+        {"path": event.get("path"), "signature": event.get("signature")}
+        for event in sorted(
+            (e for e in events if e.get("event") == "bundle"),
+            key=lambda e: str(e.get("path", "")),
+        )
+    ]
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "distinct": merged["distinct"],
+        "occurrences": merged["occurrences"],
+        "bugs": {sig: merged["bugs"][sig] for sig in sorted(merged["bugs"])},
+        "bundles": bundles,
+    }
+
+
+def compare_json(
+    engine: str, rows: List[Dict[str, Any]], *, seed: int = 0
+) -> Dict[str, Any]:
+    """``repro compare`` rows as JSON (one dict per tester, table order)."""
+    return {
+        "schema": EXPORT_SCHEMA_VERSION,
+        "engine": engine,
+        "seed": seed,
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Static HTML report
+# ---------------------------------------------------------------------------
+
+_REPORT_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       color: #1b1f24; max-width: 72rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+border-bottom: 1px solid #d0d7de; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: .6rem 0; }
+th, td { border: 1px solid #d0d7de; padding: .25rem .6rem;
+         font-size: .85rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+pre { background: #f6f8fa; padding: .8rem; overflow-x: auto;
+      font-size: .8rem; line-height: 1.35; }
+.summary span { display: inline-block; margin-right: 1.6rem;
+                font-size: .95rem; }
+.summary b { font-size: 1.2rem; }
+svg { background: #f6f8fa; }
+.warn { color: #9a6700; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value))
+
+
+def _curve_svg(curve: List[Any], width: int = 640, height: int = 180) -> str:
+    """The coverage-vs-queries curve as an inline SVG polyline."""
+    points = [(int(q), int(n)) for q, n in curve]
+    if len(points) < 2:
+        return ""
+    max_q = max(q for q, _n in points) or 1
+    max_n = max(n for _q, n in points) or 1
+    pad = 36
+    plot_w, plot_h = width - 2 * pad, height - 2 * pad
+    coords = " ".join(
+        f"{pad + plot_w * q / max_q:.1f},{height - pad - plot_h * n / max_n:.1f}"
+        for q, n in points
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="coverage curve">'
+        f'<polyline points="{coords}" fill="none" stroke="#0969da" '
+        f'stroke-width="2"/>'
+        f'<text x="{pad}" y="{height - 8}" font-size="11">0</text>'
+        f'<text x="{width - pad}" y="{height - 8}" font-size="11" '
+        f'text-anchor="end">{max_q} queries</text>'
+        f'<text x="4" y="{pad}" font-size="11">{max_n} features</text>'
+        "</svg>"
+    )
+
+
+def _table(headers: List[str], rows: List[List[Any]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def html_report(
+    events: Iterable[Event],
+    *,
+    title: str = "repro campaign report",
+    skipped: int = 0,
+) -> str:
+    """A self-contained static HTML report for one event log.
+
+    Works on any log — sections without data are simply omitted.  The
+    output references no external resources, so the file can be archived
+    or attached to a bug report as-is.
+    """
+    events = list(events)
+    snapshot = merged_snapshot_from_events(events)
+    counters = snapshot.get("counters", {})
+    total_queries = sum(
+        value for key, value in counters.items()
+        if split_metric_key(key)[0] == "campaign.queries"
+    )
+    bugs = bugs_json(events)
+    cells = sum(1 for e in events if e.get("event") == "cell_complete") or sum(
+        1 for e in events if e.get("event") == "campaign_end"
+    )
+
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_REPORT_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        '<div class="summary">'
+        f"<span><b>{len(events)}</b> events</span>"
+        f"<span><b>{cells}</b> campaign(s)</span>"
+        f"<span><b>{total_queries}</b> queries</span>"
+        f"<span><b>{bugs['distinct']}</b> distinct bug(s)</span>"
+        "</div>",
+    ]
+    if skipped:
+        parts.append(
+            f'<p class="warn">warning: {skipped} torn/undecodable line(s) '
+            "skipped while reading the log</p>"
+        )
+
+    queries = _counter_matrix(counters, "campaign.queries", "tester", "engine")
+    if queries:
+        engines = sorted({e for row in queries.values() for e in row})
+        parts.append("<h2>Queries per tester × engine</h2>")
+        parts.append(_table(
+            ["tester", *engines],
+            [[tester, *[queries[tester].get(e, "-") for e in engines]]
+             for tester in queries],
+        ))
+
+    coverage_snaps = coverage_snapshots_in(events)
+    if coverage_snaps:
+        merged = merge_coverage_snapshots(
+            [event["snapshot"] for event in coverage_snaps]
+        )
+        parts.append("<h2>Coverage</h2>")
+        parts.append(
+            f"<p>{len(merged['features'])} distinct features over "
+            f"{merged['queries']} queries</p>"
+        )
+        svg = _curve_svg(merged.get("curve", []))
+        if svg:
+            parts.append(svg)
+
+    if bugs["bugs"]:
+        parts.append("<h2>Distinct bugs</h2>")
+        parts.append(_table(
+            ["signature", "count", "kind", "first seed", "first query",
+             "testers"],
+            [
+                [
+                    sig, entry.get("count", 0), entry.get("kind", "?"),
+                    entry.get("first_seen", {}).get("seed", "-"),
+                    entry.get("first_seen", {}).get("query", "-"),
+                    ",".join(entry.get("testers", [])),
+                ]
+                for sig, entry in bugs["bugs"].items()
+            ],
+        ))
+        if bugs["bundles"]:
+            parts.append("<h2>Repro bundles</h2>")
+            parts.append(_table(
+                ["path", "signature"],
+                [[b["path"], b["signature"]] for b in bugs["bundles"]],
+            ))
+
+    profile = [r for r in profile_rows(snapshot)
+               if r["invocations"] or r["steps"] or r["seconds"] is not None]
+    if profile:
+        parts.append("<h2>Operator profile (compiled engine)</h2>")
+        parts.append(_table(
+            ["operator", "calls", "rows", "steps", "seconds"],
+            [
+                [
+                    r["operator"], r["invocations"], r["rows"], r["steps"],
+                    "-" if r["seconds"] is None else f"{r['seconds']:.4f}",
+                ]
+                for r in profile
+            ],
+        ))
+
+    stats_text = render_stats(events)
+    if "no metrics events" not in stats_text:
+        parts.append("<h2>Full stats</h2>")
+        parts.append(f"<pre>{_esc(stats_text)}</pre>")
+    trace_text = render_trace(events)
+    if "no span events" not in trace_text:
+        parts.append("<h2>Span tree</h2>")
+        parts.append(f"<pre>{_esc(trace_text)}</pre>")
+    bugs_text = render_bugs(events)
+    if "no triage events" not in bugs_text:
+        parts.append("<h2>Triage</h2>")
+        parts.append(f"<pre>{_esc(bugs_text)}</pre>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -1,0 +1,163 @@
+"""Per-operator profiling of the compiled execution core.
+
+The compiled engine (:mod:`repro.engine.plan`) already tallies rows per
+operator (``plan.rows|operator=*``); this module adds the *where does the
+time go* half: per-operator wall time, invocation counts, and evaluation
+steps, collected at the operator boundary of :class:`CompiledPlan.execute`
+and flushed into the metrics registry once per query.
+
+The contract is the same as the rest of :mod:`repro.obs`:
+
+* **Zero cost when off.**  The engine only hands an :class:`OperatorProfile`
+  to the execution context when :data:`repro.obs.PROBE` is on *and* the
+  engine runs in pure ``compiled`` mode; the hot loop guards on one
+  ``is not None`` check.  Dual mode never profiles — its observable stream
+  must stay byte-identical to an interpreted run's.
+* **RNG-stream invariant.**  Profiling draws no randomness and never
+  changes control flow, so campaign results are byte-identical with the
+  profiler on or off, for any worker count.
+* **Determinism split.**  Invocation and step counts are deterministic and
+  flush as counters (``plan.invocations|operator=*``,
+  ``plan.steps|operator=*``); wall time is not, and flushes as a *timing*
+  histogram (``plan.seconds|operator=*``) which
+  :func:`repro.obs.metrics.deterministic_view` strips.
+
+Step counts ride the evaluation resource envelope
+(:data:`repro.engine.envelope.ENVELOPE`): its charge sites only tick while
+a budget is active, so profiled compiled execution runs under an
+unreachable ceiling budget (:data:`PROFILE_STEP_CEILING`) when the user set
+none — the counter advances, the budget can never blow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.metrics import MetricsRegistry, split_metric_key
+
+__all__ = [
+    "PROFILE_STEP_CEILING",
+    "OperatorProfile",
+    "profile_rows",
+    "render_profile",
+]
+
+#: Step budget used to make envelope charge sites count during profiled
+#: execution when no user budget is active; far beyond any real query.
+PROFILE_STEP_CEILING = 1 << 62
+
+
+class OperatorProfile:
+    """Per-query accumulator: ``operator -> [invocations, steps, seconds]``.
+
+    Filled at the operator boundary by the compiled plan executor, drained
+    into the metrics registry by the engine's per-query flush — the same
+    tally-then-flush idiom as :class:`repro.engine.plan.cache.PlanCache`.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data: Dict[str, List[Any]] = {}
+
+    def record(self, operator: str, steps: int, seconds: float) -> None:
+        entry = self.data.get(operator)
+        if entry is None:
+            entry = self.data[operator] = [0, 0, 0.0]
+        entry[0] += 1
+        entry[1] += steps
+        entry[2] += seconds
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    def flush(self, metrics: MetricsRegistry) -> None:
+        """Drain into *metrics* and reset (sorted: merge-order stable)."""
+        for operator in sorted(self.data):
+            invocations, steps, seconds = self.data[operator]
+            metrics.counter("plan.invocations", operator=operator).inc(
+                invocations
+            )
+            if steps:
+                metrics.counter("plan.steps", operator=operator).inc(steps)
+            metrics.histogram(
+                "plan.seconds", timing=True, operator=operator
+            ).observe(seconds)
+        self.data.clear()
+
+
+def profile_rows(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Join the per-operator profile metrics of a merged snapshot.
+
+    Returns one row per operator — ``{"operator", "invocations", "rows",
+    "steps", "seconds"}`` — sorted hottest first (by wall seconds, then
+    steps, then rows).  ``seconds`` is ``None`` when the log carries no
+    timing data for the operator (timings are stripped from deterministic
+    views).
+    """
+    per: Dict[str, Dict[str, Any]] = {}
+
+    def row(operator: str) -> Dict[str, Any]:
+        entry = per.get(operator)
+        if entry is None:
+            entry = per[operator] = {
+                "operator": operator, "invocations": 0, "rows": 0,
+                "steps": 0, "seconds": None,
+            }
+        return entry
+
+    for key, value in snapshot.get("counters", {}).items():
+        base, labels = split_metric_key(key)
+        operator = labels.get("operator")
+        if operator is None:
+            continue
+        if base == "plan.rows":
+            row(operator)["rows"] += value
+        elif base == "plan.invocations":
+            row(operator)["invocations"] += value
+        elif base == "plan.steps":
+            row(operator)["steps"] += value
+    for key, item in snapshot.get("timings", {}).items():
+        base, labels = split_metric_key(key)
+        operator = labels.get("operator")
+        if base == "plan.seconds" and operator is not None:
+            entry = row(operator)
+            entry["seconds"] = (entry["seconds"] or 0.0) + item["sum"]
+    return sorted(
+        per.values(),
+        key=lambda r: (-(r["seconds"] or 0.0), -r["steps"], -r["rows"],
+                       r["operator"]),
+    )
+
+
+def render_profile(snapshot: Dict[str, Any]) -> List[str]:
+    """The ``== profile ==`` hot-operator table (empty without a profile).
+
+    Only logs from profiled compiled campaigns carry
+    ``plan.invocations``/``plan.steps``/``plan.seconds`` — a bare
+    ``plan.rows`` log (pre-profiler recordings) renders no section rather
+    than a table of dashes.
+    """
+    rows = profile_rows(snapshot)
+    if not any(r["invocations"] or r["steps"] or r["seconds"] is not None
+               for r in rows):
+        return []
+    total_seconds = sum(r["seconds"] or 0.0 for r in rows)
+    width = max(max(len(r["operator"]) for r in rows), len("operator")) + 2
+    lines = [
+        f"  {'operator':<{width}s} {'calls':>10s} {'rows':>12s} "
+        f"{'steps':>12s} {'seconds':>10s} {'time%':>6s}"
+    ]
+    for r in rows:
+        seconds = r["seconds"]
+        seconds_text = "-" if seconds is None else f"{seconds:.4f}"
+        share = (
+            f"{100.0 * seconds / total_seconds:5.1f}%"
+            if seconds is not None and total_seconds else "-"
+        )
+        lines.append(
+            f"  {r['operator']:<{width}s} {r['invocations']:>10d} "
+            f"{r['rows']:>12d} {r['steps']:>12d} {seconds_text:>10s} "
+            f"{share:>6s}"
+        )
+    return lines

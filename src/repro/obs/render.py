@@ -26,6 +26,7 @@ __all__ = [
     "merged_snapshot_from_events",
     "coverage_snapshots_in",
     "triage_snapshots_in",
+    "supervisor_counts",
     "render_stats",
     "render_trace",
     "render_coverage",
@@ -119,11 +120,12 @@ def _counter_table(
     return lines
 
 
-def _render_supervisor(events: List[Event]) -> List[str]:
-    """Supervisor health lines from the raw event stream.
+def supervisor_counts(events: Iterable[Event]) -> Dict[str, Any]:
+    """Supervisor health accounting from the raw event stream.
 
     Works without ``--metrics``: failure/retry/quarantine accounting is
-    event-based, so any grid log renders its robustness story.
+    event-based, so any grid log carries its robustness story.  Shared by
+    the text renderer and the JSON export (:mod:`repro.obs.export`).
     """
     failed_by_kind: Dict[str, int] = {}
     retries = quarantined = harness_errors = truncations = 0
@@ -142,20 +144,33 @@ def _render_supervisor(events: List[Event]) -> List[str]:
             harness_errors += 1
         elif kind == "chaos":
             truncations += 1
+    return {
+        "failed_by_kind": {k: failed_by_kind[k] for k in sorted(failed_by_kind)},
+        "retries": retries,
+        "quarantined": quarantined,
+        "harness_errors": harness_errors,
+        "chaos_truncations": truncations,
+    }
+
+
+def _render_supervisor(events: List[Event]) -> List[str]:
+    """The ``== supervisor ==`` lines (empty for a healthy log)."""
+    counts = supervisor_counts(events)
     lines: List[str] = []
-    for failure_kind in sorted(failed_by_kind):
+    for failure_kind, n in counts["failed_by_kind"].items():
+        lines.append(f"  failed attempts ({failure_kind}):{n:>9d}")
+    if counts["retries"]:
+        lines.append(f"  retries scheduled: {counts['retries']:>15d}")
+    if counts["quarantined"]:
+        lines.append(f"  cells quarantined: {counts['quarantined']:>15d}")
+    if counts["harness_errors"]:
         lines.append(
-            f"  failed attempts ({failure_kind}):"
-            f"{failed_by_kind[failure_kind]:>9d}"
+            f"  harness errors (budget): {counts['harness_errors']:>9d}"
         )
-    if retries:
-        lines.append(f"  retries scheduled: {retries:>15d}")
-    if quarantined:
-        lines.append(f"  cells quarantined: {quarantined:>15d}")
-    if harness_errors:
-        lines.append(f"  harness errors (budget): {harness_errors:>9d}")
-    if truncations:
-        lines.append(f"  chaos log truncations: {truncations:>11d}")
+    if counts["chaos_truncations"]:
+        lines.append(
+            f"  chaos log truncations: {counts['chaos_truncations']:>11d}"
+        )
     return lines
 
 
@@ -242,7 +257,10 @@ def _render_plans(counters: Dict[str, Any]) -> List[str]:
             rows_by_operator[operator] = (
                 rows_by_operator.get(operator, 0) + value
             )
-        elif base.startswith("plan."):
+        elif base.startswith("plan.") and not labels:
+            # Unlabelled plan.* counters are the cache scalars; labelled
+            # ones (plan.invocations|operator=..., plan.steps|...) belong
+            # to the per-operator profile section, not here.
             plan[base[len("plan."):]] = plan.get(base[len("plan."):], 0) + value
     if not plan and not rows_by_operator:
         return [
@@ -319,6 +337,14 @@ def render_stats(events: Iterable[Event]) -> str:
     if snapshot.get("counters") or timings or histograms:
         lines.append("== plans ==")
         lines.extend(_render_plans(counters))
+        lines.append("")
+
+    from repro.obs.profile import render_profile
+
+    profile_lines = render_profile(snapshot)
+    if profile_lines:
+        lines.append("== profile ==")
+        lines.extend(profile_lines)
         lines.append("")
 
     plain = {

@@ -154,12 +154,16 @@ class CampaignKernel:
                     restart = policy.restart_per_graph or first_load
                     tester.load_graph(engine, graph, schema, restart)
                     first_load = False
+                    # ``queries`` is the cumulative campaign counter at
+                    # round start: the live heartbeat ``repro watch`` uses
+                    # for progress/rate without needing per-query events.
                     self.events.emit(
                         "graph",
                         nodes=graph.node_count,
                         relationships=graph.relationship_count,
                         restart=restart,
                         sim_time=result.sim_seconds,
+                        queries=result.queries_run,
                     )
                     if observing:
                         metrics.counter("campaign.graphs", **labels).inc()

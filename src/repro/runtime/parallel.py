@@ -268,12 +268,17 @@ class ParallelCampaignRunner:
                  "quarantined": 0, "truncated": 0}
         with EventLog(self.events_path,
                       record_spans=self.record_metrics) as log:
+            # ``grid`` lists every (tester, engine, seed) cell up front so a
+            # live follower (``repro watch``) can show pending cells before
+            # any worker reports; workers buffer their events until cell
+            # completion, so this is the only early signal a grid log has.
             log.emit(
                 "grid_start",
                 cells=len(cells),
                 resumed=len(done),
                 pending=len(pending),
                 jobs=self.jobs,
+                grid=[list(cell.key) for cell in cells],
             )
             tasks = [self._task(cell) for cell in pending]
             for item in self.supervisor.run(tasks):
