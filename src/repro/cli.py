@@ -100,6 +100,18 @@ def _add_adaptive_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stateful_argument(parser: argparse.ArgumentParser) -> None:
+    """``--stateful[=RATIO]`` flag shared by campaign and compare."""
+    parser.add_argument(
+        "--stateful", nargs="?", const=0.5, default=None, type=float,
+        metavar="RATIO",
+        help="state-aware write-workload synthesis (GQS only): interleave "
+             "write statements (CREATE/MERGE/SET/DELETE/REMOVE) with reads "
+             "at the given write ratio (default 0.5) and check post-write "
+             "state against a lockstep shadow graph",
+    )
+
+
 def _add_supervisor_arguments(parser: argparse.ArgumentParser) -> None:
     """Cell-supervisor robustness flags shared by campaign and compare."""
     parser.add_argument(
@@ -169,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "requires --bundles")
     _add_engine_mode_argument(campaign)
     _add_adaptive_argument(campaign)
+    _add_stateful_argument(campaign)
     _add_supervisor_arguments(campaign)
 
     compare = sub.add_parser("compare", help="all six testers, same budget")
@@ -199,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "requires --bundles")
     _add_engine_mode_argument(compare)
     _add_adaptive_argument(compare)
+    _add_stateful_argument(compare)
     _add_supervisor_arguments(compare)
 
     stats = sub.add_parser(
@@ -344,6 +358,7 @@ def _cmd_campaign(args) -> int:
                 step_budget=args.step_budget,
                 execution_mode=args.engine_mode,
                 adaptive=args.adaptive,
+                stateful=args.stateful,
             )
         if events is not None:
             events.close()
@@ -364,6 +379,7 @@ def _cmd_campaign(args) -> int:
             chaos=chaos, step_budget=args.step_budget,
             execution_mode=args.engine_mode,
             adaptive=args.adaptive,
+            stateful=args.stateful,
         )
 
     all_faults: List[str] = []
@@ -428,6 +444,7 @@ def _cmd_compare(args) -> int:
         chaos=chaos, step_budget=args.step_budget,
         execution_mode=args.engine_mode,
         adaptive=args.adaptive,
+        stateful=args.stateful,
     )
     by_tool = {tool: result for (tool, _e, _s), result in grid.items()}
     # "distinct" deduplicates the raw report stream by bug signature —

@@ -73,6 +73,15 @@ class SynthesizerConfig:
     # Dialect switches (see repro.gdb.dialects).
     supports_call_procedures: bool = True
     needs_uniqueness_predicates: bool = False
+    # Write-statement mix for stateful sessions (repro.synth.state); the
+    # weights are relative and renormalized over the kinds that are valid
+    # against the current shadow state.  Adaptive arms scale them like any
+    # other probability knob.
+    stateful_create_weight: float = 0.35
+    stateful_merge_weight: float = 0.2
+    stateful_set_weight: float = 0.2
+    stateful_delete_weight: float = 0.15
+    stateful_remove_weight: float = 0.1
 
 
 @dataclass

@@ -562,10 +562,11 @@ class Executor:
                 else:
                     if not isinstance(target, Node):
                         raise CypherTypeError("REMOVE label requires a node")
-                    # Labels are stored frozen; rebuild the node's label set.
-                    target_labels = set(target.labels)
-                    target_labels.discard(item.label)
-                    target.labels = frozenset(target_labels)
+                    # Route through the graph so the label index stays in
+                    # sync with the node's rebuilt label set.
+                    self.graph.set_node_labels(
+                        target.id, target.labels - {item.label}
+                    )
         # REMOVE mutates properties in place, like SET above.
         self.graph.invalidate_property_index()
         return table

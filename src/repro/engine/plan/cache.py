@@ -37,6 +37,10 @@ class PlanCache:
         self.misses = 0
         self.compiles = 0
         self.divergences = 0
+        # Write statements are deliberately routed to the interpreted
+        # executor (planner returns a "write clause" fallback); this tally
+        # keeps that fallback visible in `== plans ==`.
+        self.write_fallbacks = 0
 
     @staticmethod
     def fingerprint(tags: Iterable[str], text: str) -> str:
@@ -86,5 +90,8 @@ class PlanCache:
             out["compiles"] = self.compiles
         if self.divergences:
             out["divergences"] = self.divergences
+        if self.write_fallbacks:
+            out["write_fallbacks"] = self.write_fallbacks
         self.hits = self.misses = self.compiles = self.divergences = 0
+        self.write_fallbacks = 0
         return out

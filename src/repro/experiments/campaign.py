@@ -85,13 +85,26 @@ def tester_supports(tester_name: str, engine_name: str) -> bool:
     return engine_name in _SUPPORTED.get(tester_name, ())
 
 
-def make_tester(name: str, target_engine_name: str, gate_scale: float = 1.0):
+def make_tester(
+    name: str,
+    target_engine_name: str,
+    gate_scale: float = 1.0,
+    stateful: Optional[float] = None,
+):
     """Instantiate a tester by name.
 
     GDsmith needs comparison engines; it receives the other two engines it
-    supports, each with the same gate scale as the target.
+    supports, each with the same gate scale as the target.  *stateful*
+    (GQS only) selects the state-aware tester
+    (:class:`repro.synth.state.StatefulGQSTester`) with that write ratio —
+    the tester keeps the name ``GQS``, so grid keys and event streams stay
+    shaped the same.
     """
     if name == "GQS":
+        if stateful is not None:
+            from repro.synth.state import StatefulGQSTester
+
+            return StatefulGQSTester(stateful_ratio=stateful)
         return GQSTester()
     if name == "GDBMeter":
         return GDBMeterTester()
@@ -126,6 +139,7 @@ def run_tool_campaign(
     step_budget: Optional[int] = None,
     execution_mode: str = "interpreted",
     adaptive: Optional[str] = None,
+    stateful: Optional[float] = None,
 ) -> Optional[CampaignResult]:
     """Run one tool against one engine through the shared campaign kernel;
     None when unsupported.
@@ -134,6 +148,8 @@ def run_tool_campaign(
     :class:`repro.runtime.adapt.AdaptivePolicy` with that strategy
     (``"epsilon"`` or ``"ucb"``), closing the coverage-guided synthesis
     feedback loop; the campaign then emits an ``adaptation`` event.
+    ``stateful`` (GQS only) switches on state-aware write-workload
+    synthesis with that write ratio (:mod:`repro.synth.state`).
 
     ``record_coverage`` / ``record_triage`` switch on the second
     observability tier (``coverage`` / ``triage`` events in *events*);
@@ -150,7 +166,9 @@ def run_tool_campaign(
     engine = create_engine(
         engine_name, gate_scale=gate_scale, execution_mode=execution_mode
     )
-    tester = make_tester(tester_name, engine_name, gate_scale=gate_scale)
+    tester = make_tester(
+        tester_name, engine_name, gate_scale=gate_scale, stateful=stateful
+    )
     if adaptive:
         from repro.runtime.adapt import attach_adaptive_policy
 
@@ -182,6 +200,7 @@ def campaign_grid_cells(
     derive_seeds: bool = False,
     execution_mode: str = "interpreted",
     adaptive: Optional[str] = None,
+    stateful: Optional[float] = None,
 ) -> list:
     """Build the (tester × engine × seed) cell list, skipping unsupported
     pairings (the "-" cells of Tables 4 and 6).
@@ -212,6 +231,9 @@ def campaign_grid_cells(
                         max_queries=max_queries,
                         execution_mode=execution_mode,
                         adaptive=adaptive,
+                        stateful=(
+                            stateful if tester == "GQS" else None
+                        ),
                     )
                 )
     return cells
@@ -241,6 +263,7 @@ def run_campaign_grid(
     step_budget: Optional[int] = None,
     execution_mode: str = "interpreted",
     adaptive: Optional[str] = None,
+    stateful: Optional[float] = None,
 ) -> Dict[CellKey, CampaignResult]:
     """Run a full campaign grid, optionally parallel and resumable.
 
@@ -271,6 +294,7 @@ def run_campaign_grid(
         derive_seeds=derive_seeds,
         execution_mode=execution_mode,
         adaptive=adaptive,
+        stateful=stateful,
     )
     runner = ParallelCampaignRunner(
         jobs=jobs, events_path=events_path, record_metrics=record_metrics,

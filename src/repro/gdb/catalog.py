@@ -16,6 +16,13 @@ FalkorDB bugs that GDBMeter and Gamera found after 21 and 17 hours of
 continuous testing and that GQS misses because it restarts the instance per
 graph (§5.4.4).  They are excluded from the 36 via ``session_only``.
 
+Five *state-corruption* faults (``*-ST*``, category ``"state"``) model the
+Dinkel-style bug class where a write statement answers correctly but leaves
+the database in the wrong state (lost SET, phantom MERGE re-create,
+dangling-relationship DETACH DELETE, REMOVE no-op).  They trigger only on
+write features, so read-only campaigns never see them, and are likewise
+excluded from the GQS-scope 36.
+
 ``introduced_year`` encodes Table 4's latency analysis (FalkorDB bugs
 average 4.0 years latent, max 5.0; Memgraph 3.4; Neo4j 2.2, max 2.7);
 ``confirmed``/``fixed`` mirror Table 3's confirmation columns.
@@ -32,6 +39,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.gdb.faults import Fault, FaultEffect
+from repro.gdb.state_effects import StateEffect
 
 __all__ = ["build_catalog", "faults_for", "all_faults", "gqs_scope_faults"]
 
@@ -39,7 +47,8 @@ E = FaultEffect
 
 
 def build_catalog() -> List[Fault]:
-    """Construct the full fault catalog (36 GQS-scope + 2 session-only)."""
+    """Construct the full fault catalog (36 GQS-scope + 2 session-only +
+    5 state-corruption faults for the stateful write workloads)."""
     faults: List[Fault] = []
 
     # ------------------------------------------------------------------
@@ -345,6 +354,59 @@ def build_catalog() -> List[Fault]:
     ]
 
     # ------------------------------------------------------------------
+    # State-corruption faults (NOT part of GQS's 36; the Dinkel direction).
+    # They trigger only on write statements, which read-only campaigns
+    # never issue, so every pre-stateful campaign is byte-identical.
+    # ------------------------------------------------------------------
+    faults += [
+        Fault(
+            "neo4j-ST1", "neo4j",
+            "SET is silently lost: the transaction reports success but the "
+            "property write never lands",
+            "state", 1.4,
+            lambda f: f.set_count >= 1,
+            E.identity, confirmed=True, fixed=False, gate=6,
+            state_effect=StateEffect.lost_set,
+        ),
+        Fault(
+            "memgraph-ST1", "memgraph",
+            "MERGE re-creates its pattern even when it matched, leaving a "
+            "duplicate node behind",
+            "state", 2.6,
+            lambda f: f.merge_count >= 1,
+            E.identity, confirmed=True, fixed=False, gate=4,
+            state_effect=StateEffect.phantom_merge,
+        ),
+        Fault(
+            "kuzu-ST1", "kuzu",
+            "DETACH DELETE half-applies its cascade: one relationship "
+            "survives, dangling off a ghost of the deleted node",
+            "state", 1.1,
+            lambda f: f.detach_delete_count >= 1,
+            E.identity, confirmed=True, fixed=False, gate=3,
+            state_effect=StateEffect.dangling_delete,
+        ),
+        Fault(
+            "falkordb-ST1", "falkordb",
+            "REMOVE is a no-op: dropped properties and labels silently "
+            "survive the statement",
+            "state", 3.8,
+            lambda f: f.remove_count >= 1 or f.remove_label_count >= 1,
+            E.identity, confirmed=False, fixed=False, gate=4,
+            state_effect=StateEffect.remove_noop,
+        ),
+        Fault(
+            "falkordb-ST2", "falkordb",
+            "multi-item SET loses every write past the first under "
+            "concurrent property-index maintenance",
+            "state", 4.2,
+            lambda f: f.set_count >= 2,
+            E.identity, confirmed=False, fixed=False, gate=5,
+            state_effect=StateEffect.lost_set,
+        ),
+    ]
+
+    # ------------------------------------------------------------------
     # Session-accumulation crashes (NOT part of GQS's 36; §5.4.4).
     # ------------------------------------------------------------------
     faults += [
@@ -373,13 +435,17 @@ _CATALOG: List[Fault] = build_catalog()
 
 
 def all_faults() -> List[Fault]:
-    """The full catalog (38 faults: 36 GQS-scope + 2 session-only)."""
+    """The full catalog: 36 GQS-scope + 2 session-only + 5 state-corruption."""
     return list(_CATALOG)
 
 
 def gqs_scope_faults() -> List[Fault]:
-    """The 36 faults of the paper's Table 3 (session-only crashes excluded)."""
-    return [fault for fault in _CATALOG if not fault.session_queries_required]
+    """The 36 faults of the paper's Table 3 (session-only crashes and the
+    write-triggered state-corruption faults excluded)."""
+    return [
+        fault for fault in _CATALOG
+        if not fault.session_queries_required and not fault.is_state
+    ]
 
 
 def faults_for(gdb: str) -> List[Fault]:

@@ -403,8 +403,11 @@ class GraphDatabase:
         fired: Optional[Fault] = None
         if self.faults_enabled:
             # Crash/hang/exception faults abort execution before any result
-            # is produced, so they take precedence over logic faults.
-            ordered = sorted(self.faults, key=lambda fault: fault.is_logic)
+            # is produced, so they take precedence over state faults, which
+            # in turn precede logic faults (both fire post-execution).
+            ordered = sorted(
+                self.faults, key=lambda fault: (fault.is_logic, fault.is_state)
+            )
             for fault in ordered:
                 if fault.triggers(
                     features, self.queries_since_restart, self.gate_scale
@@ -412,13 +415,19 @@ class GraphDatabase:
                     fired = fault
                     break
 
-        if fired is not None and not fired.is_logic:
+        if fired is not None and not fired.is_logic and not fired.is_state:
             # Crash/hang/exception faults fire before producing any rows.
             self.last_fired_fault = fired
             self.last_fault_session_queries = self.queries_since_restart
             if fired.category == "crash":
                 self.crashed = True
             fired.effect(ResultSet([], []), features.signature_hash())
+
+        # State faults corrupt the graph relative to its pre-write state,
+        # so the snapshot must be taken before the write executes.
+        state_before = (
+            self.graph.copy() if fired is not None and fired.is_state else None
+        )
 
         try:
             correct = self._evaluate_reference(tree, text)
@@ -432,6 +441,13 @@ class GraphDatabase:
         if fired is not None:
             self.last_fired_fault = fired
             self.last_fault_session_queries = self.queries_since_restart
+            if fired.is_state:
+                # The answer is correct; the *database state* is not
+                # (repro.gdb.state_effects).
+                fired.state_effect(
+                    self.graph, state_before, tree, features.signature_hash()
+                )
+                return correct
             return fired.effect(correct, features.signature_hash())
         return correct
 
@@ -447,6 +463,11 @@ class GraphDatabase:
             # CypherError raised either way surfaces identically.
             plan = self._plan_for(tree, text)
             if plan.is_fallback:
+                if getattr(plan, "reason", None) == "write clause":
+                    # Write statements are deliberately unplannable; the
+                    # interpreted executor is the one source of truth for
+                    # mutations, and the counter keeps the fallback visible.
+                    self._plan_cache.write_fallbacks += 1
                 return self._executor.execute(tree)
             ctx = self._plan_context()
             if ctx.op_profile is not None and ENVELOPE.limit is None:

@@ -77,6 +77,14 @@ class QueryFeatures:
     conversion_functions: int = 0     # toInteger/toFloat/... calls
     aggregate_count: int = 0
     query_hash: int = 0
+    # Write-clause features (state-aware workloads, repro.synth.state).
+    create_count: int = 0
+    merge_count: int = 0
+    set_count: int = 0                # SET items, not clauses
+    delete_count: int = 0             # plain DELETE clauses
+    detach_delete_count: int = 0
+    remove_count: int = 0             # REMOVE property items
+    remove_label_count: int = 0       # REMOVE label items
 
     def signature_hash(self) -> int:
         """A hash over structural features (stable under textual noise).
@@ -110,7 +118,34 @@ class QueryFeatures:
             self.case_count,
             tuple(sorted(set(self.functions))),
         )
+        # Write counters join the signature only when a write clause is
+        # present, so every read-only query hashes exactly as it did before
+        # the stateful tier existed — gate decisions on existing campaigns
+        # are untouched.
+        if self.has_write:
+            signature = signature + (
+                self.create_count,
+                self.merge_count,
+                self.set_count,
+                self.delete_count,
+                self.detach_delete_count,
+                self.remove_count,
+                self.remove_label_count,
+            )
         return stable_hash(repr(signature))
+
+    @property
+    def has_write(self) -> bool:
+        """Whether any write clause (CREATE/MERGE/SET/DELETE/REMOVE) occurs."""
+        return bool(
+            self.create_count
+            or self.merge_count
+            or self.set_count
+            or self.delete_count
+            or self.detach_delete_count
+            or self.remove_count
+            or self.remove_label_count
+        )
 
     @property
     def clauses(self) -> int:
@@ -210,6 +245,25 @@ def extract_features(query: AnyQuery, query_text: str) -> QueryFeatures:
                     _scan_predicate(item.expression, features)
             elif isinstance(clause, ast.Call):
                 features.has_call = True
+            elif isinstance(clause, ast.Create):
+                features.create_count += 1
+            elif isinstance(clause, ast.Merge):
+                features.merge_count += 1
+            elif isinstance(clause, ast.SetClause):
+                features.set_count += len(clause.items)
+                for item in clause.items:
+                    _scan_predicate(item.value, features)
+            elif isinstance(clause, ast.Delete):
+                if clause.detach:
+                    features.detach_delete_count += 1
+                else:
+                    features.delete_count += 1
+            elif isinstance(clause, ast.Remove):
+                for item in clause.items:
+                    if item.key is not None:
+                        features.remove_count += 1
+                    else:
+                        features.remove_label_count += 1
     return features
 
 
@@ -323,6 +377,11 @@ class FaultEffect:
             return value[:-1] if value else [0]
         return 0
 
+    @staticmethod
+    def identity(result: ResultSet, seed: int) -> ResultSet:
+        """The result is untouched (state faults corrupt the graph instead)."""
+        return result
+
     # -- error raisers ---------------------------------------------------
 
     @staticmethod
@@ -347,7 +406,7 @@ class Fault:
     fault_id: str
     gdb: str
     description: str
-    category: str                      # "logic" | "crash" | "hang" | "exception" | "memory"
+    category: str                      # "logic" | "crash" | "hang" | "exception" | "memory" | "state"
     introduced_year: float             # years of latency before discovery (Table 4)
     trigger: Callable[[QueryFeatures], bool]
     effect: Callable[[ResultSet, int], ResultSet]
@@ -355,10 +414,19 @@ class Fault:
     fixed: bool = False
     gate: int = 1                      # fire on 1/gate of the matching queries
     session_queries_required: int = 0  # >0: needs a long-running session
+    #: State-corruption faults perturb the engine's *graph* after the write
+    #: executes (repro.gdb.state_effects); the result set stays correct.
+    #: Signature: (graph, before, tree, seed) -> None, mutating *graph*.
+    state_effect: Any = None
 
     @property
     def is_logic(self) -> bool:
         return self.category == "logic"
+
+    @property
+    def is_state(self) -> bool:
+        """Whether this fault corrupts post-write graph state, not results."""
+        return self.category == "state"
 
     def triggers(
         self,

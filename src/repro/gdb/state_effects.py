@@ -1,0 +1,154 @@
+"""State-corruption effects: how a buggy engine mangles post-write state.
+
+The Dinkel direction (state-aware query generation) finds a bug class the
+result-perturbing effects of :mod:`repro.gdb.faults` cannot model: the
+query *answers* correctly but leaves the database in the wrong state.  Each
+effect here runs after the engine computed the correct result of a write
+statement and deterministically corrupts the engine's own ``PropertyGraph``
+— the state-tracking oracle (:mod:`repro.synth.state`) then catches the
+divergence from the shadow graph via the state digest.
+
+Every effect has the signature ``(graph, before, tree, seed) -> None``:
+
+* *graph* — the engine's live graph, already holding the write's correct
+  outcome; mutated in place;
+* *before* — a copy of the graph taken just before the write executed
+  (the engine snapshots it only when a state fault is about to fire);
+* *tree* — the executed statement's AST, so effects can target exactly the
+  clauses the statement carried;
+* *seed* — the query's structural signature hash, the same deterministic
+  tie-breaker the result effects use.
+
+Effects mirror the reference executor's mutation conventions (in-place
+property/label edits followed by ``invalidate_property_index``), so a
+corrupted graph stays a valid ``PropertyGraph`` — semantically wrong,
+structurally intact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set
+
+from repro.cypher import ast
+from repro.graph.model import PropertyGraph
+
+__all__ = ["StateEffect"]
+
+AnyQuery = Any  # ast.Query | ast.UnionQuery
+
+
+def _clauses(tree: AnyQuery) -> List[Any]:
+    if isinstance(tree, ast.UnionQuery):
+        return _clauses(tree.left) + _clauses(tree.right)
+    return list(tree.clauses)
+
+
+def _restore_property(graph: PropertyGraph, before: PropertyGraph, key: str) -> None:
+    """Roll one property key back to its pre-write value on every element."""
+    for node in graph.nodes():
+        if before.has_node(node.id):
+            source = before.node(node.id).properties
+            if key in source:
+                node.properties[key] = source[key]
+            else:
+                node.properties.pop(key, None)
+    before_rels = {rel.id for rel in before.relationships()}
+    for rel in graph.relationships():
+        if rel.id in before_rels:
+            source = before.relationship(rel.id).properties
+            if key in source:
+                rel.properties[key] = source[key]
+            else:
+                rel.properties.pop(key, None)
+    graph.invalidate_property_index()
+
+
+def _literal_properties(properties: Optional[ast.MapLiteral]) -> dict:
+    """Evaluate a literal-only property map; non-literal entries are skipped."""
+    if properties is None:
+        return {}
+    out = {}
+    for key, value in properties.items:
+        if isinstance(value, ast.Literal):
+            out[key] = value.value
+    return out
+
+
+class StateEffect:
+    """The four state-corruption models of the stateful fault catalog."""
+
+    @staticmethod
+    def lost_set(
+        graph: PropertyGraph, before: PropertyGraph, tree: AnyQuery, seed: int
+    ) -> None:
+        """The SET is silently lost: touched keys revert to pre-write values."""
+        for clause in _clauses(tree):
+            if isinstance(clause, ast.SetClause):
+                for item in clause.items:
+                    _restore_property(graph, before, item.key)
+
+    @staticmethod
+    def remove_noop(
+        graph: PropertyGraph, before: PropertyGraph, tree: AnyQuery, seed: int
+    ) -> None:
+        """REMOVE is a no-op: removed properties/labels silently survive."""
+        label_restore = False
+        for clause in _clauses(tree):
+            if isinstance(clause, ast.Remove):
+                for item in clause.items:
+                    if item.key is not None:
+                        _restore_property(graph, before, item.key)
+                    else:
+                        label_restore = True
+        if label_restore:
+            for node in list(graph.nodes()):
+                if before.has_node(node.id):
+                    # Same index-preserving rebuild the executor's REMOVE
+                    # uses, just rolled back to the pre-write label sets.
+                    graph.set_node_labels(
+                        node.id, before.node(node.id).labels
+                    )
+            graph.invalidate_property_index()
+
+    @staticmethod
+    def phantom_merge(
+        graph: PropertyGraph, before: PropertyGraph, tree: AnyQuery, seed: int
+    ) -> None:
+        """MERGE re-creates its pattern even when it matched (duplicate node)."""
+        for clause in _clauses(tree):
+            if isinstance(clause, ast.Merge):
+                for node_pattern in clause.pattern.nodes:
+                    graph.add_node(
+                        node_pattern.labels,
+                        _literal_properties(node_pattern.properties),
+                    )
+
+    @staticmethod
+    def dangling_delete(
+        graph: PropertyGraph, before: PropertyGraph, tree: AnyQuery, seed: int
+    ) -> None:
+        """DETACH DELETE leaves one relationship dangling off a ghost node.
+
+        The lowest-id deleted node that had relationships is resurrected as
+        a label-less, property-less tombstone, and its lowest-id deleted
+        relationship whose far end still exists is re-attached — the classic
+        half-applied cascade, kept structurally valid.
+        """
+        surviving: Set[int] = set(graph.node_ids())
+        deleted = sorted(
+            node.id for node in before.nodes() if node.id not in surviving
+        )
+        for node_id in deleted:
+            rels = sorted(
+                before.outgoing(node_id) + before.incoming(node_id),
+                key=lambda rel: rel.id,
+            )
+            for rel in rels:
+                far = rel.other_end(node_id)
+                if far == node_id or far in surviving:
+                    graph.add_node(frozenset(), {}, node_id=node_id)
+                    graph.add_relationship(
+                        rel.start, rel.end, rel.type,
+                        dict(rel.properties), rel_id=rel.id,
+                    )
+                    return

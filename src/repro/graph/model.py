@@ -237,6 +237,24 @@ class PropertyGraph:
         self._type_index.setdefault(rel_type, set()).add(rel_id)
         return rel
 
+    def set_node_labels(self, node_id: int, labels: Iterable[str]) -> None:
+        """Replace a node's label set, keeping the label index in sync.
+
+        ``REMOVE n:Label`` (and its fault-injected corruptions) must go
+        through here: rebuilding ``node.labels`` in place would leave the
+        node indexed under labels it no longer carries, which turns into a
+        stale-entry KeyError once the node is deleted and a later label
+        scan dereferences it.
+        """
+        node = self._nodes[node_id]
+        new_labels = frozenset(labels)
+        self._invalidate_sorted_views()
+        for label in node.labels - new_labels:
+            self._label_index.get(label, set()).discard(node_id)
+        for label in new_labels - node.labels:
+            self._label_index.setdefault(label, set()).add(node_id)
+        node.labels = new_labels
+
     def remove_relationship(self, rel_id: int) -> None:
         """Delete a relationship (used by graph-update tests)."""
         rel = self._relationships.pop(rel_id)

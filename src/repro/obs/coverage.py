@@ -155,6 +155,18 @@ def _pattern_shapes_in(query: AnyQuery) -> List[str]:
     return shapes
 
 
+# Write clause name → lowercase family tag (repro.synth.state statement
+# kinds); DETACH DELETE and DELETE share the ``delete`` family.
+_WRITE_FAMILIES = {
+    "CREATE": "create",
+    "MERGE": "merge",
+    "SET": "set",
+    "DELETE": "delete",
+    "DETACH DELETE": "delete",
+    "REMOVE": "remove",
+}
+
+
 def query_feature_tags(query: AnyQuery) -> List[str]:
     """The feature vector of one query, as ``kind:value`` tags (with repeats).
 
@@ -164,7 +176,17 @@ def query_feature_tags(query: AnyQuery) -> List[str]:
     nesting, capped).  Repeats are preserved so the accumulator can report
     per-feature occurrence counts alongside the covered set.
     """
-    tags = [f"clause:{name}" for name in clause_types_in(query)]
+    clause_names = clause_types_in(query)
+    tags = [f"clause:{name}" for name in clause_names]
+    # Write-clause *family* tags (lowercase, so they cannot collide with
+    # the verbatim clause names above): one per write family occurrence,
+    # with DETACH DELETE folding into the ``delete`` family.  These are
+    # what the stateful adaptive arms steer on.
+    tags.extend(
+        f"clause:{_WRITE_FAMILIES[name]}"
+        for name in clause_names
+        if name in _WRITE_FAMILIES
+    )
     tags.extend(f"function:{name}" for name in functions_in(query))
     tags.extend(f"operator:{name}" for name in _operators_in(query))
     tags.extend(f"shape:{name}" for name in _pattern_shapes_in(query))

@@ -42,9 +42,18 @@ __all__ = [
     "load_bundle",
     "replay_bundle",
     "BUNDLE_FORMAT",
+    "BUNDLE_FORMAT_V2",
 ]
 
 BUNDLE_FORMAT = "gqs-bundle/1"
+
+#: Sequence bundles (stateful sessions, :mod:`repro.synth.state`): the
+#: graph is the round's *initial* state and ``statements`` holds the full
+#: executed sequence, the last statement being the discrepant one.  v1
+#: single-query bundles keep loading and replaying unchanged.
+BUNDLE_FORMAT_V2 = "gqs-bundle/2"
+
+_KNOWN_FORMATS = (BUNDLE_FORMAT, BUNDLE_FORMAT_V2)
 
 
 def _execute_side(
@@ -92,6 +101,41 @@ def _execute_side_unprobed(
         else None
     )
     engine.load_graph(graph, schema, restart=True)
+
+    statements = bundle.get("statements")
+    if statements:
+        # v2 sequence replay: the round restarted the engine, so session
+        # counters re-accumulate naturally as the sequence re-executes —
+        # no counter restore is needed (or correct).
+        from repro.synth.state.oracle import state_summary
+
+        last_result = None
+        for index, statement in enumerate(statements):
+            try:
+                last_result = engine.execute(statement)
+            except (DatabaseCrash, ResourceExhausted, CypherError) as exc:
+                return {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "fault_id": (
+                        engine.last_fired_fault.fault_id
+                        if engine.last_fired_fault
+                        else None
+                    ),
+                    "statement_index": index,
+                    "state": state_summary(engine.graph),
+                }
+        return {
+            "columns": list(last_result.columns),
+            "rows": last_result.to_table(engine.dialect),
+            "fault_id": (
+                engine.last_fired_fault.fault_id
+                if engine.last_fired_fault
+                else None
+            ),
+            "statement_index": len(statements) - 1,
+            "state": state_summary(engine.graph),
+        }
+
     if faults_enabled and bundle.get("session_queries"):
         # Restore the session-accumulation counter to just before the
         # recorded query, so session-gated faults (§5.4.4) refire.
@@ -173,15 +217,20 @@ class FlightRecorder:
         engine_spec: Dict[str, Any],
         session_queries: Optional[int],
         query_index: int,
+        statements: Optional[List[str]] = None,
     ) -> Path:
         """Write the repro bundle for one newly-seen signature.
 
         ``engine_spec`` describes the engine the report is attributed to;
         ``session_queries`` is its query counter at fault-fire time (None
-        when no fault fired or the counter was not observed).
+        when no fault fired or the counter was not observed).  When
+        ``statements`` is given the bundle is a v2 *sequence* bundle:
+        ``graph`` must then be the round's pristine initial graph and the
+        last statement is the discrepant one (``query`` mirrors it for
+        uniform display).
         """
         bundle: Dict[str, Any] = {
-            "format": BUNDLE_FORMAT,
+            "format": BUNDLE_FORMAT_V2 if statements else BUNDLE_FORMAT,
             "signature": signature,
             "tester": tester,
             "engine": report.engine,
@@ -197,6 +246,8 @@ class FlightRecorder:
             "sim_time": report.sim_time,
             "query_index": query_index,
         }
+        if statements:
+            bundle["statements"] = list(statements)
         # Record-time self-replay: the stored expected/actual are produced
         # by the exact procedure `repro replay` re-runs, so a bundle is
         # reproducible by construction.
@@ -236,7 +287,7 @@ def load_bundle(path: Union[str, Path]) -> Dict[str, Any]:
             f"{path}: malformed bundle JSON: {exc.msg} at "
             f"line {exc.lineno} column {exc.colno} (char {exc.pos})"
         ) from None
-    if not isinstance(bundle, dict) or bundle.get("format") != BUNDLE_FORMAT:
+    if not isinstance(bundle, dict) or bundle.get("format") not in _KNOWN_FORMATS:
         kind = (bundle.get("format") if isinstance(bundle, dict)
                 else type(bundle).__name__)
         raise ValueError(
@@ -284,6 +335,12 @@ class ReplayOutcome:
             f"kind      {bundle.get('kind')}  fault {bundle.get('fault_id')}",
             f"query     {bundle.get('query')}",
         ]
+        if bundle.get("statements"):
+            lines.insert(
+                4,
+                f"sequence  {len(bundle['statements'])} statement(s) "
+                f"(v2 sequence bundle; query above is the last)",
+            )
         for side, payload, match in (
             ("expected", self.expected, self.expected_matches),
             ("actual", self.actual, self.actual_matches),
@@ -293,6 +350,8 @@ class ReplayOutcome:
             else:
                 rows = payload.get("rows", [])
                 shown = f"{len(rows)} row(s)"
+            if "state" in payload:
+                shown += f"  state {payload['state'].get('digest')}"
             verdict = "matches recording" if match else "DIVERGED from recording"
             lines.append(f"{side:<9s} {shown}  [{verdict}]")
         lines.append(

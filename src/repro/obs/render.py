@@ -278,6 +278,9 @@ def _render_plans(counters: Dict[str, Any]) -> List[str]:
         lines.append(f"  hit ratio:         {hits / lookups:>12.3f}")
     lines.append(f"  plans compiled:    {plan.get('compiles', 0):>12d}")
     lines.append(f"  divergences:       {plan.get('divergences', 0):>12d}")
+    if plan.get("write_fallbacks"):
+        # Writes are deliberately unplannable; visible, not an error.
+        lines.append(f"  write fallbacks:   {plan['write_fallbacks']:>12d}")
     if rows_by_operator:
         lines.append("  rows by operator:")
         width = max(len(op) for op in rows_by_operator) + 2

@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional, Tuple
 
-from repro.obs.recorder import BUNDLE_FORMAT, _execute_side
+from repro.obs.recorder import BUNDLE_FORMAT, BUNDLE_FORMAT_V2, _execute_side
 from repro.obs.triage import normalize_detail
 
 __all__ = ["ReductionOracle", "failure_shape"]
@@ -59,11 +59,18 @@ class ReductionOracle:
         replay_budget: Optional[int] = None,
         step_budget: Optional[int] = None,
     ):
-        if bundle.get("format") != BUNDLE_FORMAT:
+        if bundle.get("format") not in (BUNDLE_FORMAT, BUNDLE_FORMAT_V2):
             raise ValueError(
                 f"not a flight-recorder bundle (format={bundle.get('format')!r})"
             )
         self.bundle = bundle
+        # v2 sequence bundles: the sequence pass narrows this current-best
+        # statement list in place (pin_statements), and every candidate —
+        # including graph/query candidates from the v1 passes — replays
+        # against it.
+        self._statements: Optional[Tuple[str, ...]] = (
+            tuple(bundle["statements"]) if bundle.get("statements") else None
+        )
         #: Optional hard cap on replica executions.  Once exhausted, every
         #: uncached candidate is rejected, so reduction winds down with its
         #: current best — still signature-preserving, still deterministic
@@ -87,7 +94,7 @@ class ReductionOracle:
         # every improvement, so the same (graph, query) pair is often
         # checked many times.  Replays are deterministic, so caching the
         # verdict changes nothing observable except wall-clock time.
-        self._verdicts: Dict[Tuple[Optional[str], Optional[str]], bool] = {}
+        self._verdicts: Dict[Tuple[Any, ...], bool] = {}
 
     @property
     def exhausted(self) -> bool:
@@ -108,17 +115,28 @@ class ReductionOracle:
         self,
         graph: Optional[Dict[str, Any]] = None,
         query: Optional[str] = None,
+        statements: Optional[Tuple[str, ...]] = None,
     ) -> Dict[str, Dict[str, Any]]:
         """Replay a candidate; returns ``{"expected": ..., "actual": ...}``.
 
         *graph* / *query* override the bundle's recorded graph snapshot and
         query text; everything else (engine spec, schema, session counter)
-        replays as recorded.
+        replays as recorded.  On v2 sequence bundles *statements* overrides
+        the replayed sequence (defaulting to the current pinned best), and
+        a *query* override rewrites the sequence's final — discrepant —
+        statement, so the v1 query-reduction passes carry over unchanged.
         """
         candidate = dict(self.bundle)
         if graph is not None:
             candidate["graph"] = graph
-        if query is not None:
+        effective = statements if statements is not None else self._statements
+        if effective is not None:
+            sequence = list(effective)
+            if query is not None and sequence:
+                sequence[-1] = query
+            candidate["statements"] = sequence
+            candidate["query"] = sequence[-1] if sequence else query
+        elif query is not None:
             candidate["query"] = query
         expected = self._side(candidate, faults_enabled=False)
         actual = self._side(candidate, faults_enabled=True)
@@ -149,26 +167,45 @@ class ReductionOracle:
         self,
         graph: Optional[Dict[str, Any]] = None,
         query: Optional[str] = None,
+        statements: Optional[Tuple[str, ...]] = None,
     ) -> bool:
         """Whether the candidate reproduces the bundle's triage signature.
 
         Verdicts are memoized per candidate (graphs keyed by their sorted
-        JSON form), so repeat checks of a previously tried candidate cost
-        no replays.
+        JSON form; sequences by the *effective* statement tuple, so pinning
+        a new best never resurrects stale verdicts).
         """
+        effective = statements if statements is not None else self._statements
         key = (
             None if graph is None else json.dumps(graph, sort_keys=True),
             query,
+            effective,
         )
         cached = self._verdicts.get(key)
         if cached is not None:
             return cached
         if self.exhausted:
             return False  # budget exhausted — uncached candidates rejected
-        sides = self.outcome(graph=graph, query=query)
+        sides = self.outcome(graph=graph, query=query, statements=statements)
         verdict = self.preserves_signature(sides["expected"], sides["actual"])
         self._verdicts[key] = verdict
         return verdict
+
+    # -- sequence pinning (v2 bundles) ----------------------------------
+
+    @property
+    def statements(self) -> Optional[Tuple[str, ...]]:
+        """The current-best statement sequence (None on v1 bundles)."""
+        return self._statements
+
+    def pin_statements(self, statements: Tuple[str, ...]) -> None:
+        """Adopt a reduced sequence as the baseline for later passes.
+
+        The graph and query passes replay every candidate through the
+        pinned sequence, so sequence reduction composes with them without
+        threading extra arguments through the pass implementations.
+        """
+        self._statements = tuple(statements)
 
     def preserves_signature(
         self, expected: Dict[str, Any], actual: Dict[str, Any]

@@ -1,13 +1,15 @@
 """Bundle-level reduction: cooperating passes, ``*.min.json``, fan-out.
 
-:func:`reduce_bundle` drives the three passes over one flight-recorder
-bundle — graph shrink (:mod:`repro.reduce.graph`), query reduction
-(:mod:`repro.reduce.query`), then graph shrink again with the smaller
-query, iterating until a full round makes no progress.  The result is a
-**minimized bundle**: the same ``gqs-bundle/1`` document with the reduced
-graph and query and freshly recomputed expected/actual sides, so ``repro
-replay foo.min.json`` works on it unchanged, plus a ``reduction`` section
-recording original vs. reduced sizes and the oracle-replay count.
+:func:`reduce_bundle` drives the cooperating passes over one
+flight-recorder bundle — statement-sequence reduction
+(:mod:`repro.reduce.sequence`, v2 bundles only), graph shrink
+(:mod:`repro.reduce.graph`), query reduction (:mod:`repro.reduce.query`)
+— iterating until a full round makes no progress.  The result is a
+**minimized bundle**: the same-format document with the reduced graph,
+query (and, for sequence bundles, statement list) and freshly recomputed
+expected/actual sides, so ``repro replay foo.min.json`` works on it
+unchanged, plus a ``reduction`` section recording original vs. reduced
+sizes and the oracle-replay count.
 
 Reduction is a pure function of the bundle: no randomness, no dependence
 on worker count or scheduling — the same bundle always minimizes to the
@@ -27,6 +29,7 @@ from repro.obs.recorder import load_bundle
 from repro.reduce.graph import graph_sizes, shrink_graph
 from repro.reduce.oracle import ReductionOracle
 from repro.reduce.query import reduce_query
+from repro.reduce.sequence import reduce_sequence
 from repro.runtime.supervisor import (
     WORKER_RECURSION_LIMIT,
     _init_worker,
@@ -57,6 +60,8 @@ def bundle_sizes(bundle: Dict[str, Any]) -> Dict[str, int]:
     """Nodes / relationships / properties / query bytes of one bundle."""
     sizes = graph_sizes(bundle.get("graph", {}))
     sizes["query_bytes"] = len(bundle.get("query", "").encode("utf-8"))
+    if bundle.get("statements"):
+        sizes["statements"] = len(bundle["statements"])
     return sizes
 
 
@@ -143,20 +148,41 @@ def reduce_bundle(
     graph = bundle["graph"]
     query = bundle["query"]
     schema = bundle.get("schema")
+    statements = (
+        list(bundle["statements"]) if bundle.get("statements") else None
+    )
     for round_number in range(1, MAX_ROUNDS + 1):
         outcome.rounds = round_number
+        sequence_changed = False
+        if statements is not None:
+            # Sequence pass first: dropping prefix statements usually frees
+            # far more graph/query material than the other passes can, and
+            # the oracle replays every later candidate through the pinned
+            # (reduced) sequence.
+            smaller = reduce_sequence(statements, oracle, graph=graph)
+            sequence_changed = smaller != statements
+            statements = smaller
+            oracle.pin_statements(tuple(statements))
+            query = statements[-1]
         shrunk = shrink_graph(graph, oracle, query=query, schema=schema)
         graph_changed = shrunk != graph
         graph = shrunk
         reduced = reduce_query(query, oracle, graph=graph)
         query_changed = reduced != query
         query = reduced
-        if not (graph_changed or query_changed):
+        if statements is not None and query_changed:
+            # The query pass minimized the final — discrepant — statement;
+            # fold it back into the sequence the bundle will carry.
+            statements = statements[:-1] + [query]
+            oracle.pin_statements(tuple(statements))
+        if not (sequence_changed or graph_changed or query_changed):
             break
 
     minimized = dict(bundle)
     minimized["graph"] = graph
     minimized["query"] = query
+    if statements is not None:
+        minimized["statements"] = list(statements)
     # Recompute both sides through the replay procedure itself (under the
     # same step budget as the oracle's checks), so the minimized bundle is
     # — like the original — reproducible by construction

@@ -1,0 +1,92 @@
+"""Statement-sequence reduction for v2 (stateful) repro bundles.
+
+A sequence bundle replays ``statements`` in order over the initial graph;
+the final statement is the discrepant one.  This pass shrinks the *prefix*
+— every statement before the last — with ddmin, then tries a lightweight
+merge of adjacent single-clause CREATE statements (two standalone CREATEs
+collapse into one two-pattern CREATE), both under the standard
+signature-preservation oracle.  The discrepant statement itself is never
+dropped here; the query passes (:mod:`repro.reduce.query`) minimize it
+afterwards through the oracle's final-statement override.
+
+Determinism: ddmin draws no randomness and the merge scan is a fixed
+left-to-right sweep, so the same bundle always reduces to the same
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_query
+from repro.cypher.printer import print_query
+from repro.engine.errors import CypherError
+from repro.reduce.ddmin import ddmin
+from repro.reduce.oracle import ReductionOracle
+
+__all__ = ["reduce_sequence"]
+
+
+def _try_merge(left: str, right: str) -> Optional[str]:
+    """Merge two adjacent standalone CREATE statements into one, if legal."""
+    try:
+        left_tree = parse_query(left)
+        right_tree = parse_query(right)
+    except CypherError:
+        return None
+    if not isinstance(left_tree, ast.Query) or not isinstance(
+        right_tree, ast.Query
+    ):
+        return None
+    if len(left_tree.clauses) != 1 or len(right_tree.clauses) != 1:
+        return None
+    first, second = left_tree.clauses[0], right_tree.clauses[0]
+    if not isinstance(first, ast.Create) or not isinstance(second, ast.Create):
+        return None
+    merged = ast.Query(
+        clauses=(ast.Create(patterns=first.patterns + second.patterns),)
+    )
+    return print_query(merged)
+
+
+def reduce_sequence(
+    statements: List[str],
+    oracle: ReductionOracle,
+    graph: Optional[dict] = None,
+) -> List[str]:
+    """Minimize a statement sequence, preserving the triage signature.
+
+    Returns the reduced sequence (ending in the original discrepant
+    statement); the caller is responsible for pinning it on the oracle.
+    *graph* optionally fixes the candidate graph the oracle replays
+    against (the current best from an earlier graph pass).
+    """
+    if len(statements) < 1:
+        return list(statements)
+    *prefix, last = statements
+
+    def holds(candidate_prefix: List[str]) -> bool:
+        return oracle.accepts(
+            graph=graph, statements=tuple(candidate_prefix) + (last,)
+        )
+
+    if prefix and not oracle.exhausted:
+        prefix = ddmin(prefix, holds, min_size=0)
+
+    # Merge pass: collapse adjacent single-clause CREATEs pairwise.  Each
+    # accepted merge shortens the sequence by one, so re-scan from the
+    # merge point until a full sweep makes no progress.
+    sequence = prefix + [last]
+    index = 0
+    while index + 1 < len(sequence) - 1 and not oracle.exhausted:
+        merged = _try_merge(sequence[index], sequence[index + 1])
+        if merged is not None:
+            candidate = (
+                sequence[:index] + [merged] + sequence[index + 2:]
+            )
+            if oracle.accepts(graph=graph, statements=tuple(candidate)):
+                sequence = candidate
+                continue
+        index += 1
+    return sequence

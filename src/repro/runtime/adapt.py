@@ -177,7 +177,7 @@ class FeatureArm:
         )
 
 
-def default_arms() -> Tuple[FeatureArm, ...]:
+def default_arms(stateful: bool = False) -> Tuple[FeatureArm, ...]:
     """The standard arm set, one per steerable synthesis feature family.
 
     Each arm boosts the :class:`~repro.core.synthesizer.SynthesizerConfig`
@@ -186,7 +186,35 @@ def default_arms() -> Tuple[FeatureArm, ...]:
     shape / depth dimensions of :func:`repro.obs.coverage.
     query_feature_tags`, which in turn span the trigger predicates of the
     simulated fault catalogs.
+
+    With ``stateful=True`` the set is extended with one arm per write
+    statement family (lowercase ``clause:create`` … tags, scaling the
+    ``stateful_*_weight`` knobs the state-aware synthesizer draws from) —
+    only the stateful tester has those knobs expressed in its proposals,
+    so read-only campaigns keep the original arm set byte-for-byte.
     """
+    write_arms = (
+        FeatureArm.build(
+            "write-create", ["clause:create"],
+            scales={"stateful_create_weight": 2.0},
+        ),
+        FeatureArm.build(
+            "write-merge", ["clause:merge"],
+            scales={"stateful_merge_weight": 2.5},
+        ),
+        FeatureArm.build(
+            "write-set", ["clause:set"],
+            scales={"stateful_set_weight": 2.5},
+        ),
+        FeatureArm.build(
+            "write-delete", ["clause:delete"],
+            scales={"stateful_delete_weight": 2.5},
+        ),
+        FeatureArm.build(
+            "write-remove", ["clause:remove"],
+            scales={"stateful_remove_weight": 3.0},
+        ),
+    ) if stateful else ()
     return (
         FeatureArm.build(
             "optional-match", ["clause:OPTIONAL MATCH"],
@@ -236,7 +264,7 @@ def default_arms() -> Tuple[FeatureArm, ...]:
             bumps={"extra_elements": 3},
             graph_bumps={"max_nodes": 4, "max_relationships": 20},
         ),
-    )
+    ) + write_arms
 
 
 @dataclass
@@ -450,9 +478,18 @@ def attach_adaptive_policy(
     tester: Any, strategy: str = "epsilon"
 ) -> AdaptivePolicy:
     """Swap *tester*'s session policy for an adaptive one, preserving its
-    declared restart behavior.  Returns the new policy."""
+    declared restart behavior.  Returns the new policy.
+
+    A state-aware tester (one exposing a ``stateful_ratio``) gets the
+    extended arm set with the write-family arms; read-only testers keep
+    the original arms, so their adaptive trajectories are unchanged.
+    """
+    stateful = getattr(tester, "stateful_ratio", None) is not None
+    schedule = AdaptiveSchedule(strategy, arms=default_arms(stateful=stateful))
     policy = AdaptivePolicy(
-        strategy, restart_per_graph=tester.session.restart_per_graph
+        strategy,
+        restart_per_graph=tester.session.restart_per_graph,
+        schedule=schedule,
     )
     tester.session = policy
     return policy

@@ -404,16 +404,26 @@ class CampaignKernel:
                 target.last_fault_session_queries
                 or target.queries_since_restart
             )
+        # Stateful testers expose the round's statement sequence plus the
+        # pristine initial graph; the recorder then writes a v2 sequence
+        # bundle instead of the single-query v1 snapshot.
+        context = tester.sequence_context(target)
+        bundle_graph = target.graph
+        statements = None
+        if context is not None:
+            statements = context["statements"]
+            bundle_graph = context["graph"]
         path = self.recorder.record(
             signature=signature,
             tester=tester.name,
             seed=seed,
             report=report,
-            graph=target.graph,
+            graph=bundle_graph,
             schema=target.schema,
             engine_spec=target.spec(),
             session_queries=session_queries,
             query_index=query_index,
+            statements=statements,
         )
         self.events.emit(
             "bundle",

@@ -92,6 +92,9 @@ class CampaignCell:
     execution_mode: str = "interpreted"
     # Adaptive-synthesis strategy for this cell (None = blind campaign).
     adaptive: Optional[str] = None
+    # Stateful write-workload ratio (None = read-only synthesis; a float
+    # selects the state-aware tester, repro.synth.state).
+    stateful: Optional[float] = None
 
     @property
     def key(self) -> CellKey:
@@ -126,7 +129,8 @@ def _run_cell(spec: Dict[str, Any]) -> Tuple[Dict, List[Dict]]:
         execution_mode=spec.get("execution_mode", "interpreted"),
     ).create()
     tester = make_tester(spec["tester"], engine_name,
-                         gate_scale=gate_scale)
+                         gate_scale=gate_scale,
+                         stateful=spec.get("stateful"))
     if spec.get("adaptive"):
         from repro.runtime.adapt import attach_adaptive_policy
 
@@ -508,6 +512,7 @@ class ParallelCampaignRunner:
                 "max_queries": cell.max_queries,
                 "execution_mode": cell.execution_mode,
                 "adaptive": cell.adaptive,
+                "stateful": cell.stateful,
                 "record_queries": self.record_queries,
                 "record_metrics": self.record_metrics,
                 "record_coverage": self.record_coverage,

@@ -237,6 +237,16 @@ class TesterProtocol:
         """
         return [engine]
 
+    def sequence_context(self, engine: "GraphDatabase") -> Optional[dict]:
+        """The current round's statement sequence, for v2 repro bundles.
+
+        Stateful testers (:mod:`repro.synth.state`) return ``{"statements":
+        [...], "graph": <initial PropertyGraph>}`` so the flight recorder
+        can store a replayable sequence bundle; read-only testers return
+        None and keep the single-query v1 format.
+        """
+        return None
+
     def recover(
         self,
         engine: "GraphDatabase",

@@ -1,0 +1,6 @@
+"""Synthesis subsystems beyond the read-only GQS core.
+
+``repro.synth.state`` holds the state-aware write-workload synthesizer and
+its state-tracking differential oracle (the Dinkel direction from
+PAPERS.md).  The read-only synthesizer stays in :mod:`repro.core`.
+"""

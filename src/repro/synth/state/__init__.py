@@ -1,0 +1,29 @@
+"""State-aware write-workload synthesis (the Dinkel direction).
+
+Public surface:
+
+* :class:`StateModel` — shadow graph + evolving vocabulary,
+* :class:`StatefulSynthesizer` / :class:`StatementProposal` — the
+  deterministic write/read statement stream,
+* :class:`StatefulGQSTester` — the campaign tester with the
+  state-tracking differential oracle,
+* :func:`state_digest` / :func:`state_summary` / :func:`compare_states` —
+  the oracle primitives shared with replay (:mod:`repro.obs.recorder`).
+
+See ``docs/state.md`` for the full design.
+"""
+
+from repro.synth.state.model import StateModel
+from repro.synth.state.oracle import compare_states, state_digest, state_summary
+from repro.synth.state.synthesizer import StatefulSynthesizer, StatementProposal
+from repro.synth.state.tester import StatefulGQSTester
+
+__all__ = [
+    "StateModel",
+    "StatefulSynthesizer",
+    "StatementProposal",
+    "StatefulGQSTester",
+    "compare_states",
+    "state_digest",
+    "state_summary",
+]

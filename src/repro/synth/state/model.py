@@ -1,0 +1,145 @@
+"""Dinkel-style state model backing the stateful synthesizer.
+
+The model owns the *shadow graph*: a private copy of the round's initial
+graph that executes every accepted statement through the same reference
+executor the engines use.  Because engine and shadow start from copies of
+one graph and run identical statement sequences, id allocation stays in
+lockstep — which is what makes the state digest a sound oracle
+(:mod:`repro.synth.state.oracle`).
+
+On top of the shadow the model tracks the evolving vocabulary: labels,
+relationship types, and property keys present in the current state plus
+the names minted by prior writes.  Statement builders draw from these pools
+so every generated statement is valid against the *current* state, not the
+initial graph — the core Dinkel property.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Tuple
+
+from repro.engine.binding import ResultSet
+from repro.engine.executor import Executor, default_procedures
+from repro.graph.model import Node, PropertyGraph
+from repro.synth.state.oracle import state_summary
+
+__all__ = ["StateModel"]
+
+# Minted vocabulary uses a dedicated prefix so synthesized names never
+# collide with generator-produced ones.
+_LABEL_PREFIX = "WLabel"
+_TYPE_PREFIX = "W_REL"
+_KEY_PREFIX = "wkey"
+
+# Anchor/assignment values must survive the print->parse->evaluate round
+# trip exactly; floats and collections are excluded on purpose.
+_LITERAL_TYPES = (bool, int, str)
+
+
+def _is_anchor_value(value: Any) -> bool:
+    return isinstance(value, _LITERAL_TYPES)
+
+
+class StateModel:
+    """Live symbol table + shadow graph for one stateful graph round."""
+
+    def __init__(
+        self,
+        initial_graph: PropertyGraph,
+        *,
+        enforce_rel_uniqueness: bool = True,
+        supports_call_procedures: bool = True,
+    ):
+        self.shadow = initial_graph.copy()
+        self._executor = Executor(
+            self.shadow,
+            enforce_rel_uniqueness=enforce_rel_uniqueness,
+            procedures=default_procedures()
+            if supports_call_procedures
+            else {},
+        )
+        self._minted_labels = 0
+        self._minted_types = 0
+        self._minted_keys = 0
+        self.statements_applied = 0
+        # The read synthesizer's pin predicates (§3.4) require a unique
+        # literal "id" property on every element, which the graph generator
+        # mints at build time.  Writes must keep that invariant: created
+        # elements draw fresh values from this counter, and SET/REMOVE
+        # never touch the "id" key.
+        ids = [
+            value
+            for element in list(self.shadow.nodes())
+            + list(self.shadow.relationships())
+            for value in [element.properties.get("id")]
+            if isinstance(value, int) and not isinstance(value, bool)
+        ]
+        self._next_id = (max(ids) + 1) if ids else 0
+
+    # -- state evolution ----------------------------------------------------
+
+    def apply(self, tree) -> ResultSet:
+        """Execute one accepted statement against the shadow graph."""
+        result = self._executor.execute(tree)
+        self.statements_applied += 1
+        return result
+
+    def summary(self) -> dict:
+        """The reference (expected) state snapshot after the last apply."""
+        return state_summary(self.shadow)
+
+    # -- vocabulary pools ---------------------------------------------------
+
+    def labels(self) -> List[str]:
+        """Labels present in the *current* state (sorted, deterministic)."""
+        return self.shadow.labels()
+
+    def relationship_types(self) -> List[str]:
+        return self.shadow.relationship_types()
+
+    def mint_label(self) -> str:
+        self._minted_labels += 1
+        return f"{_LABEL_PREFIX}{self._minted_labels}"
+
+    def mint_type(self) -> str:
+        self._minted_types += 1
+        return f"{_TYPE_PREFIX}{self._minted_types}"
+
+    def mint_key(self) -> str:
+        self._minted_keys += 1
+        return f"{_KEY_PREFIX}{self._minted_keys}"
+
+    def next_id(self) -> int:
+        """A fresh value for a created element's ``id`` pin property."""
+        value = self._next_id
+        self._next_id += 1
+        return value
+
+    # -- anchors ------------------------------------------------------------
+
+    def pick_node(self, rng: random.Random) -> Optional[Node]:
+        """A deterministic random node of the current state, if any."""
+        nodes = self.shadow.nodes_sorted()
+        if not nodes:
+            return None
+        return rng.choice(nodes)
+
+    def anchor_for(
+        self, node: Node, rng: random.Random
+    ) -> Tuple[Tuple[str, ...], Optional[Tuple[str, Any]]]:
+        """How to select *node* in a MATCH: ``(labels, property pair)``.
+
+        Prefers one label plus one literal-valued property (selective but
+        not necessarily unique — every statement applies to all matches,
+        deterministically on both sides); degrades to label-only or
+        property-only anchors for bare nodes.
+        """
+        labels = tuple(sorted(node.labels)[:1])
+        candidates = sorted(
+            (key, value)
+            for key, value in node.properties.items()
+            if _is_anchor_value(value)
+        )
+        pair = rng.choice(candidates) if candidates else None
+        return labels, pair

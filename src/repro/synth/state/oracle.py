@@ -1,0 +1,71 @@
+"""The state-tracking differential oracle.
+
+After every write statement the shadow graph (reference state) and the
+engine's live graph should be byte-for-byte identical: both start from a
+copy of the same initial graph and execute the same statement sequence
+through the same reference executor, so node/relationship id allocation is
+deterministic on both sides.  Any divergence is therefore a bug — either an
+injected state-corruption fault (:mod:`repro.gdb.state_effects`) or a real
+defect in the engine's write path.
+
+The comparison is a deterministic *state digest*: SHA-256 over the graph's
+canonical JSON serialization (``to_dict`` is id-sorted and JSON-safe).  A
+divergent digest becomes a ``kind="state"`` discrepancy, the stateful
+counterpart of the read-only oracle's ``"logic"`` kind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+from repro.graph.model import PropertyGraph
+
+__all__ = ["state_digest", "state_summary", "compare_states"]
+
+
+def state_digest(graph: PropertyGraph) -> str:
+    """Deterministic digest of the full graph state (truncated SHA-256)."""
+    payload = json.dumps(
+        graph.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def state_summary(graph: PropertyGraph) -> Dict[str, Any]:
+    """The snapshot the oracle compares (and bundles/replays persist)."""
+    return {
+        "nodes": graph.node_count,
+        "relationships": graph.relationship_count,
+        "digest": state_digest(graph),
+    }
+
+
+def compare_states(
+    engine_graph: PropertyGraph, shadow: PropertyGraph
+) -> Optional[str]:
+    """Return a human-readable divergence description, or None if in sync.
+
+    Counts are reported before the digest so triage shapes stay stable for
+    the common corruptions (phantom node, dangling relationship); a pure
+    property/label corruption shows up as a digest-only divergence.
+    """
+    actual = state_summary(engine_graph)
+    expected = state_summary(shadow)
+    if actual == expected:
+        return None
+    parts = []
+    if actual["nodes"] != expected["nodes"]:
+        parts.append(
+            f"node count {actual['nodes']} != expected {expected['nodes']}"
+        )
+    if actual["relationships"] != expected["relationships"]:
+        parts.append(
+            f"relationship count {actual['relationships']} != expected "
+            f"{expected['relationships']}"
+        )
+    parts.append(
+        f"state digest {actual['digest']} != expected {expected['digest']}"
+    )
+    return "post-write state diverged: " + "; ".join(parts)

@@ -1,0 +1,294 @@
+"""Write-statement builders: one function per statement family.
+
+Each builder takes the :class:`StateModel` and the cell RNG and returns a
+complete, *valid-by-construction* ``ast.Query`` — valid against the model's
+current shadow state, never the initial graph.  Builders that need an
+existing element (SET, REMOVE, DELETE, relationship CREATE) anchor it with
+a ``MATCH`` on a label and/or a literal-valued property of a concrete
+shadow node; the anchor may match several elements, which is fine — the
+statement then applies to all of them, identically on the engine and the
+shadow.
+
+Anchored statements deliberately avoid expression obfuscation: the point
+of a write is to mutate state the oracle can track, and the reduction
+pipeline prefers minimal statements anyway.  Reads interleaved by the
+synthesizer keep the full §3.5 expression machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Tuple
+
+from repro.cypher import ast
+from repro.graph.model import Node
+from repro.synth.state.model import StateModel
+
+__all__ = [
+    "build_create",
+    "build_merge",
+    "build_set",
+    "build_delete",
+    "build_remove",
+    "build_statement",
+    "valid_kinds",
+]
+
+
+def _props(pairs: List[Tuple[str, Any]]) -> Optional[ast.MapLiteral]:
+    if not pairs:
+        return None
+    return ast.MapLiteral(
+        tuple((key, ast.Literal(value)) for key, value in pairs)
+    )
+
+
+def _unique_anchor_match(node: Node, variable: str) -> Optional[ast.Match]:
+    """A MATCH pinned to exactly one node via its unique ``id`` property.
+
+    CREATE executes once per matched row, so its anchor must be unique —
+    a broader anchor would fan out into several new elements sharing one
+    literal ``id`` map, breaking the pin-predicate invariant the read
+    synthesizer depends on.
+    """
+    id_value = node.properties.get("id")
+    if isinstance(id_value, bool) or not isinstance(id_value, (int, str)):
+        return None
+    return ast.Match(
+        patterns=(
+            ast.PathPattern(
+                nodes=(
+                    ast.NodePattern(
+                        variable=variable,
+                        properties=_props([("id", id_value)]),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def _anchor_match(
+    model: StateModel, node: Node, rng: random.Random, variable: str
+) -> ast.Match:
+    labels, pair = model.anchor_for(node, rng)
+    return ast.Match(
+        patterns=(
+            ast.PathPattern(
+                nodes=(
+                    ast.NodePattern(
+                        variable=variable,
+                        labels=labels,
+                        properties=_props([pair] if pair else []),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def _fresh_value(model: StateModel, rng: random.Random) -> Any:
+    roll = rng.random()
+    if roll < 0.5:
+        return rng.randrange(100)
+    if roll < 0.8:
+        return f"w{rng.randrange(1000)}"
+    return rng.random() < 0.5
+
+
+def _label_for(model: StateModel, rng: random.Random) -> str:
+    labels = model.labels()
+    if labels and rng.random() < 0.6:
+        return rng.choice(labels)
+    return model.mint_label()
+
+
+def _type_for(model: StateModel, rng: random.Random) -> str:
+    types = model.relationship_types()
+    if types and rng.random() < 0.6:
+        return rng.choice(types)
+    return model.mint_type()
+
+
+def _mutable_keys(node: Node) -> List[str]:
+    # "id" is the pin-predicate property every element must keep
+    # (repro.synth.state.model); writes never reassign or remove it.
+    return sorted(key for key in node.properties if key != "id")
+
+
+def _key_for(node: Optional[Node], model: StateModel, rng: random.Random) -> str:
+    keys = _mutable_keys(node) if node is not None else []
+    if keys and rng.random() < 0.6:
+        return rng.choice(keys)
+    return model.mint_key()
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def build_create(model: StateModel, rng: random.Random) -> ast.Query:
+    """``CREATE`` a fresh node, optionally wired to an anchored node."""
+    label = _label_for(model, rng)
+    key = model.mint_key()
+    new_node = ast.NodePattern(
+        variable="n",
+        labels=(label,),
+        properties=_props(
+            [("id", model.next_id()), (key, _fresh_value(model, rng))]
+        ),
+    )
+    anchor = model.pick_node(rng)
+    wire = anchor is not None and rng.random() < 0.5
+    match = _unique_anchor_match(anchor, "a") if wire else None
+    if match is not None:
+        # MATCH (a {id: ...}) CREATE (a)-[:T {id: ...}]->(n:Label {id: ..., key: value})
+        rel = ast.RelationshipPattern(
+            types=(_type_for(model, rng),),
+            direction=ast.OUT,
+            properties=_props([("id", model.next_id())]),
+        )
+        create = ast.Create(
+            patterns=(
+                ast.PathPattern(
+                    nodes=(ast.NodePattern(variable="a"), new_node),
+                    relationships=(rel,),
+                ),
+            ),
+        )
+        return ast.Query(clauses=(match, create))
+    return ast.Query(
+        clauses=(ast.Create(patterns=(ast.PathPattern(nodes=(new_node,)),)),)
+    )
+
+
+def build_merge(model: StateModel, rng: random.Random) -> ast.Query:
+    """``MERGE`` that deterministically matches or creates a single node."""
+    anchor = model.pick_node(rng)
+    if anchor is not None and rng.random() < 0.5:
+        # Match arm: re-state an existing node's anchor, so MERGE matches.
+        labels, pair = model.anchor_for(anchor, rng)
+        node = ast.NodePattern(
+            variable="m",
+            labels=labels,
+            properties=_props([pair] if pair else []),
+        )
+    else:
+        # Create arm: a minted label cannot exist yet, so MERGE creates.
+        node = ast.NodePattern(
+            variable="m",
+            labels=(model.mint_label(),),
+            properties=_props(
+                [
+                    ("id", model.next_id()),
+                    (model.mint_key(), _fresh_value(model, rng)),
+                ]
+            ),
+        )
+    return ast.Query(clauses=(ast.Merge(pattern=ast.PathPattern(nodes=(node,))),))
+
+
+def build_set(model: StateModel, rng: random.Random) -> Optional[ast.Query]:
+    """``MATCH ... SET x.key = value`` on an anchored node."""
+    target = model.pick_node(rng)
+    if target is None:
+        return None
+    match = _anchor_match(model, target, rng, "x")
+    items = [
+        ast.SetItem(
+            subject="x",
+            key=_key_for(target, model, rng),
+            value=ast.Literal(_fresh_value(model, rng)),
+        )
+    ]
+    if rng.random() < 0.3:
+        items.append(
+            ast.SetItem(
+                subject="x",
+                key=model.mint_key(),
+                value=ast.Literal(_fresh_value(model, rng)),
+            )
+        )
+    return ast.Query(clauses=(match, ast.SetClause(items=tuple(items))))
+
+
+def build_delete(model: StateModel, rng: random.Random) -> Optional[ast.Query]:
+    """``DETACH DELETE`` an anchored node, or plain ``DELETE`` a relationship.
+
+    Node deletions always detach: the reference executor (correctly) raises
+    on plain DELETE of a connected node, and a harness-raised error is not
+    a bug the oracle should see.
+    """
+    rels = sorted(model.shadow.relationships(), key=lambda rel: rel.id)
+    if rels and rng.random() < 0.4:
+        rel = rng.choice(rels)
+        start = model.shadow.node(rel.start)
+        match = _anchor_match(model, start, rng, "a")
+        path = ast.PathPattern(
+            nodes=(
+                ast.NodePattern(
+                    variable="a",
+                    labels=match.patterns[0].nodes[0].labels,
+                    properties=match.patterns[0].nodes[0].properties,
+                ),
+                ast.NodePattern(variable="b"),
+            ),
+            relationships=(
+                ast.RelationshipPattern(
+                    variable="r", types=(rel.type,), direction=ast.OUT
+                ),
+            ),
+        )
+        return ast.Query(
+            clauses=(
+                ast.Match(patterns=(path,)),
+                ast.Delete(expressions=(ast.Variable("r"),), detach=False),
+            ),
+        )
+    target = model.pick_node(rng)
+    if target is None:
+        return None
+    match = _anchor_match(model, target, rng, "x")
+    return ast.Query(
+        clauses=(
+            match,
+            ast.Delete(expressions=(ast.Variable("x"),), detach=True),
+        ),
+    )
+
+
+def build_remove(model: StateModel, rng: random.Random) -> Optional[ast.Query]:
+    """``MATCH ... REMOVE x.key`` (or ``REMOVE x:Label``) on an anchor."""
+    target = model.pick_node(rng)
+    if target is None:
+        return None
+    match = _anchor_match(model, target, rng, "x")
+    keys = _mutable_keys(target)
+    if target.labels and (not keys or rng.random() < 0.3):
+        label = rng.choice(sorted(target.labels))
+        item = ast.RemoveItem(subject="x", label=label)
+    else:
+        key = rng.choice(keys) if keys else model.mint_key()
+        item = ast.RemoveItem(subject="x", key=key)
+    return ast.Query(clauses=(match, ast.Remove(items=(item,))))
+
+
+_BUILDERS = {
+    "create": build_create,
+    "merge": build_merge,
+    "set": build_set,
+    "delete": build_delete,
+    "remove": build_remove,
+}
+
+
+def valid_kinds(model: StateModel) -> List[str]:
+    """Statement kinds that are valid against the current shadow state."""
+    if model.shadow.node_count == 0:
+        return ["create", "merge"]
+    return ["create", "merge", "set", "delete", "remove"]
+
+
+def build_statement(kind: str, model: StateModel, rng: random.Random):
+    """Dispatch to a builder; returns None when the state can't support it."""
+    return _BUILDERS[kind](model, rng)

@@ -104,7 +104,12 @@ class TestCatalog:
             "falkordb": (13, 4),
         }
         for engine, (logic, other) in expected.items():
-            scope = [f for f in faults_for(engine) if not f.session_queries_required]
+            # Table-3 scope: session-only and state-corruption faults are
+            # outside the paper's read-only catalog (gqs_scope_faults).
+            scope = [
+                f for f in faults_for(engine)
+                if not f.session_queries_required and not f.is_state
+            ]
             assert sum(1 for f in scope if f.is_logic) == logic
             assert sum(1 for f in scope if not f.is_logic) == other
 

@@ -183,3 +183,50 @@ class TestSynthesizedQueryRoundTrip:
                 assert print_query(parse_query(printed)) == printed
                 checked += 1
         assert checked == 200
+
+    def test_parse_print_idempotent_on_write_statements(self):
+        """The stateful synthesizer's write statements round-trip too.
+
+        Covers the write-clause grammar the read-only population never
+        exercises: CREATE (standalone and relationship-wiring), MERGE
+        (match and create arms), SET, plain DELETE, DETACH DELETE, and
+        REMOVE of both properties and labels.  The sequence reducer
+        re-parses recorded statements, so this is the shape it depends on.
+        """
+        import random
+
+        from repro.core.runner import synthesizer_config_for
+        from repro.gdb import create_engine
+        from repro.graph import GraphGenerator
+        from repro.synth.state import StatefulSynthesizer, StateModel
+
+        checked = 0
+        seen_kinds = set()
+        for seed in range(10):
+            _schema, graph = GraphGenerator(seed=seed).generate_with_schema()
+            engine = create_engine("memgraph" if seed % 2 else "falkordb")
+            model = StateModel(
+                graph,
+                enforce_rel_uniqueness=engine.dialect.enforces_rel_uniqueness,
+                supports_call_procedures=(
+                    engine.dialect.supports_call_procedures
+                ),
+            )
+            synthesizer = StatefulSynthesizer(
+                model,
+                random.Random(seed),
+                config=synthesizer_config_for(engine),
+                stateful_ratio=1.0,  # writes only
+            )
+            for _ in range(20):
+                proposal = synthesizer.propose()
+                assert proposal.is_write
+                seen_kinds.add(proposal.statement_kind)
+                printed = proposal.text
+                assert print_query(parse_query(printed)) == printed
+                # Keep the shadow in lockstep so later statements stay
+                # valid against the evolved state.
+                model.apply(proposal.query)
+                checked += 1
+        assert checked == 200
+        assert seen_kinds == {"create", "merge", "set", "delete", "remove"}
