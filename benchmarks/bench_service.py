@@ -1,0 +1,100 @@
+"""Benchmarks for the campaign service scheduler.
+
+Measures what the lease/heartbeat/journal machinery *costs* relative to
+the work it schedules: a small grid dispatched through
+:class:`CampaignScheduler` (process-per-lease, heartbeats, fsync'd
+checkpoints) against the same grid run inline.  The ratio is recorded in
+``extra_info`` so regressions in dispatch overhead show up in the
+benchmark JSON, not just in wall-clock noise.
+
+Also times the two hot non-dispatch paths: journal replay (crash
+recovery folds the full event stream on every service start) and
+admission (spec validation + grid decomposition, the synchronous cost of
+every ``POST /jobs``).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.reporting import load_event_stream
+from repro.experiments.campaign import run_tool_campaign
+from repro.service import CampaignScheduler, JobSpec
+from repro.service.scheduler import replay_service_journal
+
+ENGINE = "falkordb"
+SPEC = {
+    "testers": ["GQS", "GQT"],
+    "engines": [ENGINE],
+    "seeds": [0],
+    "budget_seconds": 3.0,
+}
+
+
+def _run_grid_via_service(journal):
+    scheduler = CampaignScheduler(
+        journal, jobs=2, lease_seconds=60.0, heartbeat_seconds=0.5,
+        poll_interval=0.01,
+    )
+    scheduler.submit(SPEC)
+    scheduler.run_until(timeout=120)
+    scheduler.drain()
+    scheduler.tick()
+
+
+def _run_grid_inline():
+    for tester in SPEC["testers"]:
+        run_tool_campaign(tester, ENGINE, seed=0, budget_seconds=3.0)
+
+
+def test_service_dispatch_overhead(benchmark, tmp_path):
+    """Service grid vs inline grid: the lease machinery's overhead."""
+    inline_start = time.perf_counter()
+    _run_grid_inline()
+    inline_seconds = time.perf_counter() - inline_start
+
+    counter = iter(range(1_000_000))
+    durations = []
+
+    def run():
+        start = time.perf_counter()
+        _run_grid_via_service(tmp_path / f"svc-{next(counter)}.jsonl")
+        durations.append(time.perf_counter() - start)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    service_seconds = sum(durations) / len(durations)
+    benchmark.extra_info["inline_seconds"] = inline_seconds
+    benchmark.extra_info["overhead_ratio"] = (
+        service_seconds / inline_seconds if inline_seconds else 0.0
+    )
+
+
+@pytest.fixture(scope="module")
+def finished_journal(tmp_path_factory):
+    journal = tmp_path_factory.mktemp("bench-svc") / "svc.jsonl"
+    _run_grid_via_service(journal)
+    return journal
+
+
+def test_journal_replay_rate(benchmark, finished_journal):
+    """Crash-recovery fold over a finished service journal."""
+    events = list(load_event_stream(finished_journal))
+
+    state = benchmark(replay_service_journal, events)
+    benchmark.extra_info["events"] = len(events)
+    benchmark.extra_info["journal_bytes"] = (
+        finished_journal.stat().st_size
+    )
+    assert state["jobs"]
+
+
+def test_admission_rate(benchmark):
+    """Spec validation + grid decomposition: the cost of POST /jobs."""
+    payload = json.loads(json.dumps(SPEC))
+
+    def admit():
+        return JobSpec.from_dict(payload).cells()
+
+    cells = benchmark(admit)
+    assert len(cells) == 2

@@ -242,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--interval", type=float, default=2.0,
                        metavar="SECONDS",
                        help="poll/refresh interval (default: 2s)")
+    watch.add_argument("--format", default="text", choices=["text", "json"],
+                       help="terminal view (default) or machine-readable "
+                            "JSON (stats_json shapes + live watch state); "
+                            "without --once, emits one JSON line per poll")
 
     report = sub.add_parser(
         "report",
@@ -318,6 +322,88 @@ def build_parser() -> argparse.ArgumentParser:
         "calibrate", help="print per-fault trigger rates per generator"
     )
     calibrate.add_argument("--n", type=int, default=200)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant campaign service (HTTP JSON API)",
+    )
+    serve.add_argument("journal",
+                       help="JSONL journal path; an existing journal is "
+                            "replayed so a restarted service resumes "
+                            "exactly where the dead one stopped")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks an ephemeral port; the "
+                            "bound endpoint is printed on startup)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="concurrent lease-worker processes")
+    serve.add_argument("--capacity", type=int, default=256,
+                       help="max outstanding (pending+leased) cells before "
+                            "admission answers 429 + Retry-After")
+    serve.add_argument("--lease-seconds", type=float, default=120.0,
+                       help="hard wall-clock deadline per cell lease")
+    serve.add_argument("--heartbeat-seconds", type=float, default=1.0,
+                       help="worker heartbeat interval")
+    serve.add_argument("--heartbeat-misses", type=int, default=3,
+                       help="consecutive silent intervals before the lease "
+                            "is revoked as missed_heartbeat")
+    serve.add_argument("--cell-retries", type=int, default=2,
+                       help="failed attempts per cell before quarantine "
+                            "(same seed, exponential backoff)")
+    serve.add_argument("--retry-backoff", type=float, default=None,
+                       metavar="SECONDS", help="base retry backoff")
+    serve.add_argument("--chaos", default=None, metavar="P[,SEED]",
+                       help="deterministically inject worker crashes/hangs/"
+                            "errors, heartbeat stalls and journal tail "
+                            "truncation (self-test; results unaffected)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign grid job to a running service"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service endpoint (see `repro serve`)")
+    submit.add_argument("--tester", action="append", dest="testers",
+                        choices=["GQS", "GDsmith", "GDBMeter", "Gamera",
+                                 "GQT", "GRev"],
+                        help="repeatable; default GQS")
+    submit.add_argument("--engine", action="append", dest="engines",
+                        choices=["neo4j", "memgraph", "kuzu", "falkordb"],
+                        help="repeatable; default falkordb")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--seeds", type=int, default=1,
+                        help="K seeds starting at --seed")
+    submit.add_argument("--minutes", type=float, default=2.0,
+                        help="simulated minutes per cell")
+    submit.add_argument("--gate-scale", type=float, default=1.0)
+    submit.add_argument("--metrics", action="store_true",
+                        help="record metrics into the service journal")
+    submit.add_argument("--coverage", action="store_true")
+    submit.add_argument("--triage", action="store_true")
+    submit.add_argument("--spec", default=None, metavar="PATH",
+                        help="submit a raw JSON job spec instead of flags")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes; exits 3 when "
+                             "any cell was quarantined")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds")
+    _add_engine_mode_argument(submit)
+    _add_adaptive_argument(submit)
+    _add_stateful_argument(submit)
+
+    jobs = sub.add_parser("jobs", help="list jobs on a running service")
+    jobs.add_argument("--url", default="http://127.0.0.1:8765")
+    jobs.add_argument("--job", default=None, metavar="ID",
+                      help="show one job with per-cell detail")
+    jobs.add_argument("--format", default="text", choices=["text", "json"])
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a job (or drain the whole service)"
+    )
+    cancel.add_argument("job", nargs="?", default=None, metavar="ID")
+    cancel.add_argument("--url", default="http://127.0.0.1:8765")
+    cancel.add_argument("--drain", action="store_true",
+                        help="graceful drain: stop admissions and leasing, "
+                             "finish in-flight cells, then exit")
     return parser
 
 
@@ -416,7 +502,40 @@ def _cmd_campaign(args) -> int:
             merged = result if merged is None else merged.merge(result)
         save_campaign(merged, args.out)
         print(f"campaign written to {args.out}")
-    return 0
+    return _grid_exit_code(
+        results, (args.tester,), (args.engine,),
+        range(args.seed, args.seed + args.seeds),
+        derive_seeds=args.seeds > 1,
+    )
+
+
+def _grid_exit_code(results, testers, engines, seeds, *,
+                    derive_seeds=False) -> int:
+    """0 when the grid is whole, 3 when quarantine left holes.
+
+    The documented exit-code contract (docs/robustness.md): a grid that
+    *completed* but is missing cells — retries exhausted, cells
+    quarantined — must not look like success to CI.  Holes are computed
+    against the same decomposition that scheduled the grid, so resumed
+    and derived-seed runs are judged against exactly the cells they owed.
+    """
+    from repro.experiments.campaign import campaign_grid_cells
+
+    expected = campaign_grid_cells(testers, engines, seeds=seeds,
+                                   derive_seeds=derive_seeds)
+    holes = [cell.key for cell in expected if cell.key not in results]
+    if not holes:
+        return 0
+    labels = ", ".join("/".join(str(part) for part in key)
+                       for key in holes[:6])
+    if len(holes) > 6:
+        labels += f", ... and {len(holes) - 6} more"
+    print(
+        f"warning: {len(holes)} grid cell(s) quarantined or missing "
+        f"({labels}); exiting 3",
+        file=sys.stderr,
+    )
+    return 3
 
 
 def _cmd_compare(args) -> int:
@@ -469,6 +588,8 @@ def _cmd_compare(args) -> int:
             "reports": entry["reports"],
             "distinct": entry["distinct"],
         })
+    exit_code = _grid_exit_code(grid, TESTER_NAMES, (args.engine,),
+                                (args.seed,))
     if args.format == "json":
         import json
 
@@ -476,7 +597,7 @@ def _cmd_compare(args) -> int:
 
         print(json.dumps(compare_json(args.engine, rows, seed=args.seed),
                          indent=2, sort_keys=True))
-        return 0
+        return exit_code
     print(f"{'tester':>9s} {'queries':>8s} {'bugs':>5s} {'logic':>6s} "
           f"{'FPs':>5s} {'reports':>8s} {'distinct':>9s}")
     for row in rows:
@@ -488,7 +609,7 @@ def _cmd_compare(args) -> int:
             f"{row['logic']:6d} {row['false_positives']:5d} "
             f"{row['reports']:8d} {row['distinct']:9d}"
         )
-    return 0
+    return exit_code
 
 
 def _parse_chaos(args):
@@ -516,7 +637,12 @@ def _load_events(path: str) -> Optional[list]:
 
 
 def _warn_skipped(events) -> None:
-    """One-line warning when the log lost lines to truncation/tearing."""
+    """Warn when the log lost lines to truncation/tearing — and say where.
+
+    Each torn line is pinned to its byte offset and length (from
+    ``EventStream.skipped_lines``) so an operator can inspect the damage
+    with ``dd``/``tail -c`` instead of guessing.
+    """
     skipped = getattr(events, "skipped", 0)
     if skipped:
         print(
@@ -524,6 +650,15 @@ def _warn_skipped(events) -> None:
             "the log was truncated mid-write; totals may undercount",
             file=sys.stderr,
         )
+        torn = list(getattr(events, "skipped_lines", ()))
+        for entry in torn[:8]:
+            print(
+                f"  torn line at byte offset {entry['offset']} "
+                f"({entry['length']} byte(s))",
+                file=sys.stderr,
+            )
+        if len(torn) > 8:
+            print(f"  ... and {len(torn) - 8} more", file=sys.stderr)
 
 
 def _cmd_stats(args) -> int:
@@ -538,7 +673,11 @@ def _cmd_stats(args) -> int:
     _warn_skipped(events)
     if args.format == "json":
         print(json.dumps(
-            stats_json(events, skipped=getattr(events, "skipped", 0)),
+            stats_json(
+                events,
+                skipped=getattr(events, "skipped", 0),
+                torn=list(getattr(events, "skipped_lines", ())),
+            ),
             indent=2, sort_keys=True,
         ))
         return 0
@@ -571,11 +710,12 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_watch(args) -> int:
+    import json
     import time
 
     from pathlib import Path
 
-    from repro.obs.follow import EventFollower, render_watch
+    from repro.obs.follow import EventFollower, render_watch, watch_json
 
     if args.once and not Path(args.events).exists():
         print(f"no such event log: {args.events}", file=sys.stderr)
@@ -583,7 +723,11 @@ def _cmd_watch(args) -> int:
     follower = EventFollower(args.events)
     if args.once:
         follower.poll()
-        print(render_watch(follower))
+        if args.format == "json":
+            print(json.dumps(watch_json(follower), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_watch(follower))
         return 0
     interval = max(args.interval, 0.05)
     last_queries = 0
@@ -598,10 +742,16 @@ def _cmd_watch(args) -> int:
                     now - last_time
                 )
             last_queries, last_time = follower.total_queries, now
-            # Refresh in place: home the cursor, repaint, clear the rest.
-            frame = render_watch(follower, rate=rate)
-            sys.stdout.write("\x1b[H" + frame + "\x1b[J\n")
-            sys.stdout.flush()
+            if args.format == "json":
+                # One compact snapshot per line: a machine-tailable feed.
+                print(json.dumps(watch_json(follower, rate=rate),
+                                 sort_keys=True, separators=(",", ":")))
+                sys.stdout.flush()
+            else:
+                # Refresh in place: home the cursor, repaint, clear the rest.
+                frame = render_watch(follower, rate=rate)
+                sys.stdout.write("\x1b[H" + frame + "\x1b[J\n")
+                sys.stdout.flush()
             if follower.finished:
                 return 0
             time.sleep(interval)
@@ -852,6 +1002,161 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    if args.chaos:
+        from repro.runtime import ChaosConfig
+
+        try:
+            ChaosConfig.parse(args.chaos)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    return serve(
+        args.journal,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        capacity=args.capacity,
+        lease_seconds=args.lease_seconds,
+        heartbeat_seconds=args.heartbeat_seconds,
+        heartbeat_misses=args.heartbeat_misses,
+        cell_retries=args.cell_retries,
+        retry_backoff=args.retry_backoff,
+        chaos=args.chaos,
+    )
+
+
+def _service_client(url):
+    from repro.service import ServiceClient
+
+    return ServiceClient(url)
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceError
+
+    if args.spec:
+        import json
+        from pathlib import Path
+
+        try:
+            spec = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        spec = {
+            "testers": args.testers or ["GQS"],
+            "engines": args.engines or ["falkordb"],
+            "seeds": list(range(args.seed, args.seed + max(1, args.seeds))),
+            "budget_seconds": args.minutes * 60.0,
+            "gate_scale": args.gate_scale,
+            "derive_seeds": args.seeds > 1,
+            "execution_mode": args.engine_mode,
+            "adaptive": args.adaptive,
+            "stateful": args.stateful,
+            "record_metrics": args.metrics,
+            "record_coverage": args.coverage,
+            "record_triage": args.triage,
+        }
+    client = _service_client(args.url)
+    try:
+        record = client.submit(spec)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        # 429/503 are availability refusals (exit 4), not usage errors.
+        return 4 if exc.status in (429, 503) else 2
+    except OSError as exc:
+        print(f"cannot reach service at {args.url}: {exc}", file=sys.stderr)
+        return 4
+    counts = record["counts"]
+    print(f"{record['job']} accepted: "
+          f"{sum(counts.values())} cell(s) ({counts['done']} already done)")
+    if not args.wait:
+        return 0
+    try:
+        record = client.wait(record["job"], timeout=args.timeout)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 4
+    counts = record["counts"]
+    print(f"{record['job']} {record['status']}: {counts['done']} done, "
+          f"{counts['quarantined']} quarantined, "
+          f"{counts['cancelled']} cancelled")
+    return 3 if counts["quarantined"] else 0
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args.url)
+    try:
+        if args.job:
+            payload = client.job(args.job)
+        else:
+            payload = {"jobs": client.jobs()}
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot reach service at {args.url}: {exc}", file=sys.stderr)
+        return 4
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.job:
+        counts = payload["counts"]
+        print(f"{payload['job']}: {payload['status']} "
+              f"({counts['done']}/{len(payload['cells'])} done, "
+              f"{counts['quarantined']} quarantined)")
+        for cell in payload["cells"]:
+            label = f"{cell['tester']}/{cell['engine']}/{cell['seed']}"
+            print(f"  {label:<28s} {cell['status']:<14s} "
+                  f"queries {cell['queries']:>6d}  "
+                  f"attempts {cell['attempts']}")
+        return 0
+    if not payload["jobs"]:
+        print("no jobs")
+        return 0
+    for record in payload["jobs"]:
+        counts = record["counts"]
+        total = sum(counts.values())
+        print(f"{record['job']:<10s} {record['status']:<10s} "
+              f"{counts['done']}/{total} done, "
+              f"{counts['pending']} pending, {counts['leased']} leased, "
+              f"{counts['quarantined']} quarantined")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service import ServiceError
+
+    if not args.drain and not args.job:
+        print("cancel: give a job ID or --drain", file=sys.stderr)
+        return 2
+    client = _service_client(args.url)
+    try:
+        if args.drain:
+            client.drain()
+            print("service draining")
+            return 0
+        record = client.cancel(args.job)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot reach service at {args.url}: {exc}", file=sys.stderr)
+        return 4
+    counts = record["counts"]
+    print(f"{record['job']} cancelled: {counts['cancelled']} cell(s) "
+          f"dropped, {counts['done']} completed result(s) kept")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -870,6 +1175,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "synthesize": _cmd_synthesize,
         "calibrate": _cmd_calibrate,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "cancel": _cmd_cancel,
     }
     try:
         return handlers[args.command](args)

@@ -124,33 +124,47 @@ class EventStream(List[Dict[str, Any]]):
     """A loaded event list that also remembers how many lines were torn.
 
     Behaves exactly like the plain list every existing caller expects;
-    ``skipped`` carries the count of undecodable (torn/truncated) lines so
-    consumers such as ``repro stats`` can warn that the log lost data
-    instead of silently under-counting.
+    ``skipped`` carries the count of undecodable (torn/truncated) lines and
+    ``skipped_lines`` pins each one down (``{"offset": byte_offset,
+    "length": bytes}``) so consumers such as ``repro stats`` can say *where*
+    the log lost data instead of silently under-counting.
     """
 
     skipped: int = 0
+    skipped_lines: List[Dict[str, int]] = []
 
 
 def load_event_stream(path: Union[str, Path]) -> EventStream:
     """Read a JSONL event stream, skipping blank/truncated trailing lines.
 
     Tolerating a torn final line matters: resumable logs are written by
-    runs that may be killed mid-write.  The number of skipped lines is
-    recorded on the returned :class:`EventStream` (``.skipped``).
+    runs that may be killed mid-write.  Every skipped line is recorded on
+    the returned :class:`EventStream` with its byte offset and length
+    (``.skipped_lines``); ``.skipped`` keeps the plain count.
     """
     events = EventStream()
-    skipped = 0
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            events.append(json.loads(line))
-        except json.JSONDecodeError:
-            skipped += 1
-            continue
-    events.skipped = skipped
+    skipped_lines: List[Dict[str, int]] = []
+    offset = 0
+    lines = Path(path).read_bytes().split(b"\n")
+    # A final line with no terminating newline is a write in progress (or
+    # the stump of one killed mid-write): never parse it, even when it
+    # happens to be complete JSON — the live follower buffers exactly the
+    # same bytes, keeping loader and follower byte-for-byte in agreement.
+    tail = lines.pop()
+    for raw in lines:
+        line = raw.strip()
+        if line:
+            try:
+                events.append(json.loads(line.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                skipped_lines.append(
+                    {"offset": offset, "length": len(raw)}
+                )
+        offset += len(raw) + 1
+    if tail.strip():
+        skipped_lines.append({"offset": offset, "length": len(tail)})
+    events.skipped = len(skipped_lines)
+    events.skipped_lines = skipped_lines
     return events
 
 

@@ -21,7 +21,7 @@ text, this module serializes for machines and browsers:
 from __future__ import annotations
 
 import html as _html
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.coverage import merge_coverage_snapshots
 from repro.obs.metrics import split_metric_key
@@ -133,8 +133,19 @@ def _counter_matrix(
             for row, cols in sorted(matrix.items())}
 
 
-def stats_json(events: Iterable[Event], *, skipped: int = 0) -> Dict[str, Any]:
-    """The machine-readable twin of ``repro stats``."""
+def stats_json(
+    events: Iterable[Event],
+    *,
+    skipped: int = 0,
+    torn: Optional[List[Dict[str, int]]] = None,
+) -> Dict[str, Any]:
+    """The machine-readable twin of ``repro stats``.
+
+    *torn* optionally carries the byte-accurate skipped-line account from
+    :func:`repro.core.reporting.load_event_stream` (``.skipped_lines``) —
+    each entry pins one undecodable journal line to its byte ``offset``
+    and ``length`` so consumers can audit exactly where a log lost data.
+    """
     events = list(events)
     snapshot = merged_snapshot_from_events(events)
     counters = snapshot.get("counters", {})
@@ -142,6 +153,7 @@ def stats_json(events: Iterable[Event], *, skipped: int = 0) -> Dict[str, Any]:
         "schema": EXPORT_SCHEMA_VERSION,
         "events": len(events),
         "skipped_lines": skipped,
+        "torn_lines": list(torn or ()),
         "queries": _counter_matrix(
             counters, "campaign.queries", "tester", "engine"
         ),

@@ -33,7 +33,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-__all__ = ["EventFollower", "render_watch"]
+__all__ = ["EventFollower", "render_watch", "watch_json"]
 
 Event = Dict[str, Any]
 
@@ -50,6 +50,9 @@ class EventFollower:
         self.path = Path(path)
         self.events: List[Event] = []
         self.skipped = 0
+        #: Byte-accurate account of every torn line:
+        #: ``[{"offset": byte_offset, "length": bytes}, ...]``.
+        self.skipped_lines: List[Dict[str, int]] = []
         self.counts: Dict[str, int] = {}
         #: ``"tester/engine/seed" -> {"status", "queries", "sim", "faults"}``
         self.cells: Dict[str, Dict[str, Any]] = {}
@@ -59,6 +62,8 @@ class EventFollower:
         self._current: Optional[str] = None
         self._open_grids = 0
         self._open_campaigns = 0
+        self._service = False
+        self._service_open = False
 
     # -- polling -----------------------------------------------------------
 
@@ -75,6 +80,7 @@ class EventFollower:
         with self.path.open("rb") as handle:
             handle.seek(self._offset)
             chunk = handle.read()
+        position = self._offset - len(self._partial)
         self._offset += len(chunk)
         data = self._partial + chunk
         lines = data.split(b"\n")
@@ -83,22 +89,26 @@ class EventFollower:
         self._partial = lines.pop()
         fresh: List[Event] = []
         for raw in lines:
-            raw = raw.strip()
-            if not raw:
-                continue
-            try:
-                event = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                self.skipped += 1
-                continue
-            self.events.append(event)
-            self._fold(event)
-            fresh.append(event)
+            line = raw.strip()
+            if line:
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    self.skipped += 1
+                    self.skipped_lines.append(
+                        {"offset": position, "length": len(raw)}
+                    )
+                else:
+                    self.events.append(event)
+                    self._fold(event)
+                    fresh.append(event)
+            position += len(raw) + 1
         return fresh
 
     def _reset(self) -> None:
         self.events = []
         self.skipped = 0
+        self.skipped_lines = []
         self.counts = {}
         self.cells = {}
         self.finished = False
@@ -107,6 +117,8 @@ class EventFollower:
         self._current = None
         self._open_grids = 0
         self._open_campaigns = 0
+        self._service = False
+        self._service_open = False
 
     # -- rolling state -----------------------------------------------------
 
@@ -186,15 +198,40 @@ class EventFollower:
                 cell["status"] = "retrying"
             else:
                 cell["status"] = "quarantined"
+        elif kind == "service_start":
+            # A (re)started campaign service owns this log: completion is
+            # now governed by service_stop, not campaign balance.
+            self._service = True
+            self._service_open = True
+        elif kind == "service_stop":
+            self._service_open = False
+        elif kind == "job_submitted":
+            for key in event.get("cells") or ():
+                self._cell("/".join(str(part) for part in key))
+        elif kind == "lease":
+            label = (f"{event.get('tester', '?')}/{event.get('engine', '?')}"
+                     f"/{event.get('seed', '?')}")
+            self._cell(label)["status"] = "leased"
+        elif kind == "lease_revoked":
+            label = (f"{event.get('tester', '?')}/{event.get('engine', '?')}"
+                     f"/{event.get('seed', '?')}")
+            self._cell(label)["status"] = (
+                f"revoked ({event.get('reason', '?')})"
+            )
         # Completion: every opened grid and campaign has closed.  Between a
         # grid's cells the grid itself is still open, so a live grid never
         # reads as finished early; a bare single-campaign log closes on its
-        # campaign_end.
-        self.finished = (
-            bool(self.counts.get("grid_end") or self.counts.get("campaign_end"))
-            and self._open_grids <= 0
-            and self._open_campaigns <= 0
-        )
+        # campaign_end.  A service log instead finishes on service_stop —
+        # between a service's cells nothing is "open" in the grid sense.
+        if self._service:
+            self.finished = not self._service_open
+        else:
+            self.finished = (
+                bool(self.counts.get("grid_end")
+                     or self.counts.get("campaign_end"))
+                and self._open_grids <= 0
+                and self._open_campaigns <= 0
+            )
 
     def distinct_signatures(self) -> List[str]:
         """Distinct bug signatures seen so far.
@@ -287,10 +324,71 @@ def render_watch(
         lines.append("== adaptation ==")
         lines.extend(adaptation)
     supervisor = _supervisor_line(follower.counts)
-    if supervisor:
+    service = _service_line(follower.counts)
+    if supervisor or service:
         lines.append("")
-        lines.append(supervisor)
+        if service:
+            lines.append(service)
+        if supervisor:
+            lines.append(supervisor)
     return "\n".join(lines)
+
+
+def watch_json(
+    follower: EventFollower, *, rate: Optional[float] = None
+) -> Dict[str, Any]:
+    """One machine-readable frame of the watch view.
+
+    The payload *is* :func:`repro.obs.export.stats_json` over the events
+    folded so far — same schema version, same counter matrices — so
+    scripted consumers can share one decoder between ``repro stats
+    --format json`` and ``repro watch --once --format json``.  The live
+    rolling state rides along under the ``"watch"`` key.
+    """
+    from repro.obs.export import stats_json
+
+    data = stats_json(
+        follower.events,
+        skipped=follower.skipped,
+        torn=follower.skipped_lines,
+    )
+    done = sum(1 for cell in follower.cells.values()
+               if cell["status"] == "done")
+    data["watch"] = {
+        "status": "complete" if follower.finished else (
+            "waiting for events" if not follower.events else "running"
+        ),
+        "finished": follower.finished,
+        "cells": {label: dict(cell)
+                  for label, cell in sorted(follower.cells.items())},
+        "cells_done": done,
+        "counts": dict(sorted(follower.counts.items())),
+        "queries": follower.total_queries,
+        "sim_seconds": follower.total_sim_seconds,
+        "rate": rate,
+        "distinct_signatures": follower.distinct_signatures(),
+    }
+    return data
+
+
+def _service_line(counts: Dict[str, int]) -> Optional[str]:
+    if not counts.get("service_start"):
+        return None
+    parts = [f"leases {counts.get('lease', 0)}"]
+    if counts.get("lease_revoked"):
+        parts.append(f"revoked {counts['lease_revoked']}")
+    if counts.get("heartbeat"):
+        parts.append(f"heartbeats {counts['heartbeat']}")
+    if counts.get("job_submitted"):
+        parts.append(
+            f"jobs {counts.get('job_complete', 0)}"
+            f"/{counts['job_submitted']} complete"
+        )
+    if counts.get("job_cancelled"):
+        parts.append(f"cancelled {counts['job_cancelled']}")
+    if counts.get("service_start", 0) > 1:
+        parts.append(f"restarts {counts['service_start'] - 1}")
+    return "service: " + ", ".join(parts)
 
 
 def _supervisor_line(counts: Dict[str, int]) -> Optional[str]:

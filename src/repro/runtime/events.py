@@ -29,6 +29,7 @@ in-memory log and its write-through policy.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO, Union
 
@@ -99,6 +100,19 @@ class EventLog:
 
     def of_kind(self, kind: str) -> List[Event]:
         return [event for event in self._events if event["event"] == kind]
+
+    def sync(self) -> None:
+        """Durability barrier: flush and ``fsync`` the backing file.
+
+        The campaign service calls this at cell-completion boundaries so a
+        ``kill -9`` of the scheduler can never lose a checkpointed result —
+        anything acknowledged before :meth:`sync` returned survives the
+        crash; at most the torn tail of a later, unsynced line is lost (and
+        skipped by :func:`repro.core.reporting.load_event_stream`).
+        """
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

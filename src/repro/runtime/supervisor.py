@@ -184,6 +184,20 @@ class ChaosConfig:
         tester, engine, seed = key
         return self._unit("truncate", tester, engine, seed) < self.rate
 
+    def heartbeat_stall(self, key: CellKey, attempt: int) -> bool:
+        """Service chaos: suppress this lease attempt's worker heartbeats.
+
+        The worker keeps running the cell normally but never reports a
+        heartbeat, so the scheduler's missed-heartbeat detector must revoke
+        the lease and requeue the cell — the failure detection path of
+        :mod:`repro.service` exercised without killing anything.  Drawn on
+        its own purpose key so it composes independently with
+        :meth:`directive` (a single attempt can be both stalled and, say,
+        crashed — whichever bites first).
+        """
+        tester, engine, seed = key
+        return self._unit("stall", tester, engine, seed, attempt) < self.rate
+
 
 def _chaos_inject(directive: str, hang_seconds: float) -> None:
     """Apply a chaos directive inside the worker, before any cell work."""

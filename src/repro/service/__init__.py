@@ -1,0 +1,45 @@
+"""The fault-tolerant campaign service.
+
+A long-running localhost service that accepts campaign grid jobs over a
+stdlib HTTP JSON API and runs them under a robustness-first scheduler:
+time-bounded cell leases, worker heartbeats, missed-heartbeat revocation,
+deterministic same-seed retries with quarantine, bounded-queue admission
+control with backpressure, graceful SIGTERM/SIGINT drain, and a
+crash-consistent JSONL journal that makes ``kill -9`` + restart
+byte-identical to an uninterrupted run.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.spec` — job specs, validation, grid decomposition;
+* :mod:`repro.service.worker` — the per-lease worker process entry point;
+* :mod:`repro.service.scheduler` — leases, heartbeats, retries, recovery;
+* :mod:`repro.service.server` — the asyncio HTTP face (``repro serve``);
+* :mod:`repro.service.client` — the urllib client (``repro submit`` …).
+
+See ``docs/service.md`` for the API reference, the lease/heartbeat state
+machine, the failure-handling matrix, and the recovery guarantees.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    Backpressure,
+    CampaignScheduler,
+    ServiceDraining,
+    replay_service_journal,
+)
+from repro.service.server import ServiceServer, serve
+from repro.service.spec import JobSpec
+from repro.service.worker import lease_worker_main
+
+__all__ = [
+    "Backpressure",
+    "CampaignScheduler",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceDraining",
+    "ServiceServer",
+    "lease_worker_main",
+    "replay_service_journal",
+    "serve",
+]

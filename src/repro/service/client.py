@@ -1,0 +1,120 @@
+"""A stdlib client for the campaign service (`repro submit` et al.).
+
+Thin :mod:`urllib.request` wrapper over the JSON API in
+:mod:`repro.service.server`.  The one piece of real behaviour lives in
+:meth:`ServiceClient.submit`: when the service answers ``429`` the client
+*honours the backpressure contract* — it sleeps the server-provided
+``Retry-After`` and retries, up to a bounded number of attempts, so a
+polite caller rides out a full queue instead of hammering it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-success response from the service."""
+
+    def __init__(self, status: int, body: Dict[str, Any]):
+        super().__init__(
+            f"service returned {status}: {body.get('error', body)}"
+        )
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self._sleep = sleep
+
+    # -- transport --------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+                return {"status": response.status, "body": body,
+                        "headers": dict(response.headers)}
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {"error": str(exc)}
+            return {"status": exc.code, "body": body,
+                    "headers": dict(exc.headers or {})}
+
+    def _expect(self, response: Dict[str, Any], *ok: int) -> Dict[str, Any]:
+        if response["status"] not in ok:
+            raise ServiceError(response["status"], response["body"])
+        return response["body"]
+
+    # -- verbs ------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._expect(self._request("GET", "/health"), 200)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._expect(self._request("GET", "/stats"), 200)
+
+    def submit(self, spec: Dict[str, Any],
+               max_backpressure_retries: int = 5) -> Dict[str, Any]:
+        """Submit a job spec, honouring 429 + Retry-After backpressure."""
+        for _ in range(max_backpressure_retries + 1):
+            response = self._request("POST", "/jobs", spec)
+            if response["status"] != 429:
+                return self._expect(response, 202)
+            retry_after = response["body"].get("retry_after")
+            if retry_after is None:
+                retry_after = response["headers"].get("Retry-After", 1)
+            self._sleep(max(0.1, float(retry_after)))
+        raise ServiceError(429, response["body"])
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._expect(self._request("GET", "/jobs"), 200)["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._expect(self._request("GET", f"/jobs/{job_id}"), 200)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._expect(
+            self._request("POST", f"/jobs/{job_id}/cancel"), 200
+        )
+
+    def drain(self) -> Dict[str, Any]:
+        return self._expect(self._request("POST", "/drain"), 202)
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until *job_id* leaves the ``running`` state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] != "running":
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still running after {timeout:.0f}s"
+                )
+            self._sleep(poll)

@@ -1,0 +1,256 @@
+"""The campaign service HTTP face: a stdlib-only asyncio JSON API.
+
+``repro serve`` binds a localhost HTTP/1.1 endpoint in front of a
+:class:`repro.service.scheduler.CampaignScheduler`.  The protocol layer is
+deliberately tiny — ``asyncio.start_server`` plus a hand-rolled request
+parser — because the repo's no-new-dependencies rule rules out aiohttp and
+friends, and the API surface is six routes of line-oriented JSON:
+
+========  ======================  ===========================================
+method    path                    semantics
+========  ======================  ===========================================
+GET       /health                 liveness + drain state (always 200)
+GET       /stats                  scheduler counters
+GET       /jobs                   all jobs, summary form
+POST      /jobs                   submit a job spec (202, 400, 429, 503)
+GET       /jobs/{id}              one job with per-cell status (404 unknown)
+POST      /jobs/{id}/cancel       cancel a job (200, 404)
+POST      /drain                  begin graceful drain (202)
+========  ======================  ===========================================
+
+Failure mapping is the robustness story of the API: a malformed spec is a
+``400`` at admission (never a worker crash later), admission past capacity
+is ``429`` with a deterministic ``Retry-After`` header, and submissions
+during drain get ``503`` so clients fail over instead of queueing behind a
+shutdown.
+
+:func:`serve` is the process entry point: it installs SIGTERM/SIGINT
+handlers that trigger the scheduler's graceful drain (stop leasing, let
+in-flight cells finish or time out, flush the journal) and returns 0 once
+the drain completes — the exit code contract the CI smoke test and
+``docs/service.md`` document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.scheduler import (
+    Backpressure,
+    CampaignScheduler,
+    ServiceDraining,
+)
+
+__all__ = ["ServiceServer", "serve"]
+
+_MAX_BODY = 1 << 20  # 1 MiB is plenty for a grid spec; refuse the rest.
+
+
+class ServiceServer:
+    """One scheduler behind one asyncio TCP listener."""
+
+    def __init__(self, scheduler: CampaignScheduler,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- protocol ---------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                status, headers, body = 400, {}, {"error": "bad request"}
+            else:
+                method, path, payload = request
+                status, headers, body = self._route(method, path, payload)
+        except Exception as exc:  # Defensive: a handler bug must not wedge
+            status, headers, body = 500, {}, {"error": str(exc)}
+        try:
+            writer.write(self._response(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 10.0)
+        except asyncio.TimeoutError:
+            return None
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length < 0 or length > _MAX_BODY:
+            return None
+        payload: Any = None
+        if length:
+            body = await reader.readexactly(length)
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return None
+        return method, path, payload
+
+    def _response(self, status: int, headers: Dict[str, str],
+                  body: Any) -> bytes:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 405: "Method Not Allowed",
+                   429: "Too Many Requests", 500: "Internal Server Error",
+                   503: "Service Unavailable"}
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, method: str, path: str,
+               payload: Any) -> Tuple[int, Dict[str, str], Any]:
+        scheduler = self.scheduler
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/health":
+            if method != "GET":
+                return 405, {}, {"error": "GET only"}
+            return 200, {}, {
+                "status": "draining" if scheduler.draining else "ok",
+                **scheduler.stats(),
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, {}, {"error": "GET only"}
+            return 200, {}, scheduler.stats()
+        if path == "/drain":
+            if method != "POST":
+                return 405, {}, {"error": "POST only"}
+            scheduler.drain(reason="api")
+            return 202, {}, {"draining": True, **scheduler.stats()}
+        if path == "/jobs":
+            if method == "GET":
+                return 200, {}, {"jobs": scheduler.jobs_overview()}
+            if method != "POST":
+                return 405, {}, {"error": "GET or POST"}
+            try:
+                record = scheduler.submit(payload)
+            except Backpressure as exc:
+                return 429, {"Retry-After": str(exc.retry_after)}, {
+                    "error": str(exc),
+                    "retry_after": exc.retry_after,
+                    "outstanding": exc.outstanding,
+                    "capacity": exc.capacity,
+                }
+            except ServiceDraining as exc:
+                return 503, {}, {"error": str(exc)}
+            except ValueError as exc:
+                return 400, {}, {"error": str(exc)}
+            return 202, {}, record
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/cancel"):
+                job_id = rest[: -len("/cancel")]
+                if method != "POST":
+                    return 405, {}, {"error": "POST only"}
+                record = scheduler.cancel(job_id)
+            else:
+                job_id = rest
+                if method != "GET":
+                    return 405, {}, {"error": "GET only"}
+                record = scheduler.job_record(job_id)
+            if record is None:
+                return 404, {}, {"error": f"no such job {job_id!r}"}
+            return 200, {}, record
+        return 404, {}, {"error": f"no such route {path!r}"}
+
+
+async def _serve_async(scheduler: CampaignScheduler, host: str,
+                       port: int) -> int:
+    server = ServiceServer(scheduler, host, port)
+    bound_host, bound_port = await server.start()
+    # Announce the bound endpoint on stdout (flushed) so wrappers and
+    # tests binding port 0 can discover the ephemeral port.
+    print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(
+                signum, scheduler.drain, signal.Signals(signum).name
+            )
+        except (NotImplementedError, RuntimeError):
+            pass  # Platforms without signal support still serve.
+    try:
+        await scheduler.run_async()
+    finally:
+        await server.stop()
+    return 0
+
+
+def serve(
+    journal: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 2,
+    capacity: int = 256,
+    lease_seconds: float = 120.0,
+    heartbeat_seconds: float = 1.0,
+    heartbeat_misses: int = 3,
+    cell_retries: int = 2,
+    retry_backoff: Optional[float] = None,
+    chaos: Optional[str] = None,
+) -> int:
+    """Run the campaign service until drained; returns the exit code."""
+    from repro.runtime.supervisor import DEFAULT_RETRY_BACKOFF
+
+    scheduler = CampaignScheduler(
+        journal,
+        jobs=jobs,
+        capacity=capacity,
+        lease_seconds=lease_seconds,
+        heartbeat_seconds=heartbeat_seconds,
+        heartbeat_misses=heartbeat_misses,
+        cell_retries=cell_retries,
+        retry_backoff=(DEFAULT_RETRY_BACKOFF if retry_backoff is None
+                       else retry_backoff),
+        chaos=chaos,
+    )
+    return asyncio.run(_serve_async(scheduler, host, port))
